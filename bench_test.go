@@ -1,0 +1,62 @@
+// Package main_test is the benchmark harness of the reproduction: one
+// testing.B benchmark per table and figure of the paper's evaluation
+// (see DESIGN.md's per-experiment index), plus the ablation benches.
+// Each benchmark regenerates the corresponding artefact through
+// internal/experiments; run
+//
+//	go test -bench=. -benchmem
+//
+// to reproduce everything, or cmd/mlimp-bench to get the artefacts as
+// text.
+package main_test
+
+import (
+	"testing"
+
+	"mlimp/internal/experiments"
+)
+
+// run executes one registered experiment b.N times, reporting its
+// artefact size so accidental truncation is visible in benchmark diffs.
+func run(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	var bytes int
+	for i := 0; i < b.N; i++ {
+		res := e.Run()
+		bytes = len(res.Text)
+		if bytes == 0 {
+			b.Fatalf("%s produced an empty artefact", id)
+		}
+	}
+	b.ReportMetric(float64(bytes), "artefact-bytes")
+}
+
+func BenchmarkFig01_TechnologyCharacteristics(b *testing.B) { run(b, "fig01") }
+func BenchmarkFig05_SubgraphDistribution(b *testing.B)      { run(b, "fig05") }
+func BenchmarkFig10_NaiveClassifier(b *testing.B)           { run(b, "fig10") }
+func BenchmarkFig11_KernelSpeedup(b *testing.B)             { run(b, "fig11") }
+func BenchmarkFig12_DeviceMixBreakdown(b *testing.B)        { run(b, "fig12") }
+func BenchmarkFig13_ApplicationBreakdown(b *testing.B)      { run(b, "fig13") }
+func BenchmarkFig14_Energy(b *testing.B)                    { run(b, "fig14") }
+func BenchmarkFig15_SchedulerPredictor(b *testing.B)        { run(b, "fig15") }
+func BenchmarkFig16_OracleFraction(b *testing.B)            { run(b, "fig16") }
+func BenchmarkFig17_AppKernelTimes(b *testing.B)            { run(b, "fig17") }
+func BenchmarkFig18_Multiprogramming(b *testing.B)          { run(b, "fig18") }
+func BenchmarkFig19_SchedulerComparison(b *testing.B)       { run(b, "fig19") }
+func BenchmarkTab1_Datasets(b *testing.B)                   { run(b, "tab1") }
+func BenchmarkTab2_AppCombinations(b *testing.B)            { run(b, "tab2") }
+func BenchmarkTab3_Configurations(b *testing.B)             { run(b, "tab3") }
+func BenchmarkStress_PredictorNoise(b *testing.B)           { run(b, "stress") }
+func BenchmarkModel_ScaleFreeFit(b *testing.B)              { run(b, "scalefit") }
+func BenchmarkPredictor_Accuracy(b *testing.B)              { run(b, "predacc") }
+func BenchmarkAblation_ReuseModel(b *testing.B)             { run(b, "abl-reuse") }
+func BenchmarkAblation_KneeAllocation(b *testing.B)         { run(b, "abl-knee") }
+func BenchmarkAblation_Replication(b *testing.B)            { run(b, "abl-replica") }
+func BenchmarkAblation_InterQueueEpsilon(b *testing.B)      { run(b, "abl-epsilon") }
+func BenchmarkAblation_Compiler(b *testing.B)               { run(b, "abl-compiler") }
+func BenchmarkExtension_Serving(b *testing.B)               { run(b, "serving") }
+func BenchmarkExtension_Quantization(b *testing.B)          { run(b, "quant") }

@@ -1,0 +1,48 @@
+// Command mlimp-bench regenerates every table and figure of the paper's
+// evaluation as text artefacts.
+//
+// Usage:
+//
+//	mlimp-bench            # run the full suite
+//	mlimp-bench -list      # list experiment ids
+//	mlimp-bench -run fig13 # run one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mlimp/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments and exit")
+	run := flag.String("run", "", "run only the experiment with this id")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *run != "" {
+		e, ok := experiments.ByID(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mlimp-bench: unknown experiment %q (try -list)\n", *run)
+			os.Exit(1)
+		}
+		fmt.Println(e.Run().String())
+		return
+	}
+	start := time.Now()
+	for _, e := range experiments.All() {
+		t0 := time.Now()
+		res := e.Run()
+		fmt.Println(res.String())
+		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Printf("full reproduction suite completed in %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,3 @@
+module mlimp
+
+go 1.22

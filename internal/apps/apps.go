@@ -1,0 +1,229 @@
+// Package apps provides the data-parallel application suite of Table II
+// as SIMD DFG kernels: Blackscholes, Fluidanimate, Streamcluster (two
+// input sizes), Backprop, Kmeans, Crypto (SipHash rounds), DB (bitmap
+// index and full scan), and Bitap. Each App carries its kernel graph,
+// the per-job element count and loop count ("each application generates
+// multiple jobs with a fixed loop count", Section IV), and the number of
+// jobs launched per program instance.
+//
+// The kernels follow the wide-SIMD execution model of IMP: every lane
+// processes one independent element (an option, a point, a neuron, a
+// text string, a database row), and the sequential part of the algorithm
+// becomes the job's loop count.
+package apps
+
+import (
+	"fmt"
+
+	"mlimp/internal/dfg"
+)
+
+// App describes one benchmark application.
+type App struct {
+	Name   string
+	Domain string
+	Kernel *dfg.Graph
+	// Elements is the SIMD width of one job (elements processed in
+	// lockstep); LoopCount is how many times the kernel body executes
+	// per job; Jobs is how many jobs one program launch generates.
+	Elements  int
+	LoopCount int
+	Jobs      int
+}
+
+// WorkPerJob returns kernel invocations per job (loop count).
+func (a App) WorkPerJob() int64 { return int64(a.LoopCount) }
+
+// String renders the Table II row.
+func (a App) String() string {
+	return fmt.Sprintf("%-15s %-15s elems=%-8d loops=%-6d jobs=%d",
+		a.Name, a.Domain, a.Elements, a.LoopCount, a.Jobs)
+}
+
+// blackscholes prices one option per lane with the closed-form model;
+// exp2/div-heavy compute (the log/exp/CDF pipeline), favouring fast
+// arithmetic memories.
+func blackscholes() *dfg.Graph {
+	g := dfg.NewGraph("blackscholes")
+	s := g.Input("spot")
+	k := g.Input("strike")
+	t := g.Input("time")
+	v := g.Input("vol")
+	// d1 = (log2(s/k) + (r + v^2/2) t) / (v sqrt(t)); log2 via exp2
+	// inversion is lowered to a division ladder in fixed point.
+	ratio := g.Div(s, k)
+	logr := g.Sub(g.Exp2(g.Div(ratio, g.ConstFloat(2))), g.ConstFloat(1)) // poly approx
+	v2 := g.Mul(v, v)
+	drift := g.Mul(g.Add(g.ConstFloat(0.05), g.Div(v2, g.ConstFloat(2))), t)
+	sqt := g.Div(g.Add(t, g.ConstFloat(1)), g.ConstFloat(2)) // Newton seed for sqrt
+	denom := g.Mul(v, sqt)
+	d1 := g.Div(g.Add(logr, drift), denom)
+	d2 := g.Sub(d1, denom)
+	// CDF approximated with a logistic: 1/(1+2^-1.702x).
+	cdf := func(x dfg.NodeID) dfg.NodeID {
+		e := g.Exp2(g.Mul(g.ConstFloat(-1.702), x))
+		return g.Div(g.ConstFloat(1), g.Add(g.ConstFloat(1), e))
+	}
+	call := g.Sub(g.Mul(s, cdf(d1)), g.Mul(k, cdf(d2)))
+	g.Output(call)
+	return g
+}
+
+// fluidanimate computes one particle's pairwise density/force kernel:
+// distance, smoothing-kernel weights, and a force accumulation.
+func fluidanimate() *dfg.Graph {
+	g := dfg.NewGraph("fluidanimate")
+	dx := g.Input("dx")
+	dy := g.Input("dy")
+	dz := g.Input("dz")
+	h2 := g.ConstFloat(1.0)
+	r2 := g.Add(g.Add(g.Mul(dx, dx), g.Mul(dy, dy)), g.Mul(dz, dz))
+	diff := g.Max(g.Sub(h2, r2), g.ConstFloat(0))
+	w := g.Mul(g.Mul(diff, diff), diff) // (h^2-r^2)^3 smoothing weight
+	press := g.Mul(w, g.ConstFloat(0.25))
+	g.Output(g.Add(press, g.Mul(w, g.ConstFloat(0.5))))
+	return g
+}
+
+// streamcluster evaluates one point-to-centre assignment step on
+// 16-dimensional points: a squared distance (a 16-pair multi-operand
+// dot of the coordinate differences — the analog-friendly intrinsic)
+// plus a running-best comparison.
+func streamcluster() *dfg.Graph {
+	g := dfg.NewGraph("streamcluster")
+	const dims = 16
+	best := g.Input("best")
+	pairs := make([]dfg.NodeID, 0, 2*dims)
+	for i := 0; i < dims; i++ {
+		x := g.Input(fmt.Sprintf("x%d", i))
+		c := g.Input(fmt.Sprintf("c%d", i))
+		d := g.Sub(x, c)
+		pairs = append(pairs, d, d)
+	}
+	dist := g.Dot(pairs...)
+	better := g.CmpLT(dist, best)
+	g.Output(g.Select(better, dist, best))
+	return g
+}
+
+// backprop is one dense neuron step with fan-in 32: a 32-pair
+// multi-operand MAC plus logistic activation and the local gradient
+// term. The wide dot is where ReRAM's analog Kirchhoff accumulation
+// shines (one crossbar access versus 32 sequential bit-serial MACs).
+func backprop() *dfg.Graph {
+	g := dfg.NewGraph("backprop")
+	const fanIn = 32
+	pairs := make([]dfg.NodeID, 0, 2*fanIn)
+	for i := 0; i < fanIn; i++ {
+		pairs = append(pairs, g.Input(fmt.Sprintf("x%d", i)), g.Input(fmt.Sprintf("w%d", i)))
+	}
+	acc := g.Dot(pairs...)
+	e := g.Exp2(g.Mul(g.ConstFloat(-1.4427), acc)) // 2^(-x/ln2) = e^-x
+	act := g.Div(g.ConstFloat(1), g.Add(g.ConstFloat(1), e))
+	grad := g.Mul(act, g.Sub(g.ConstFloat(1), act))
+	g.Output(grad)
+	return g
+}
+
+// kmeans is the assignment step against two candidate centres with a
+// running argmin.
+func kmeans() *dfg.Graph {
+	g := dfg.NewGraph("kmeans")
+	x := g.Input("x")
+	c1 := g.Input("c1")
+	c2 := g.Input("c2")
+	d1 := g.Sub(x, c1)
+	d2 := g.Sub(x, c2)
+	s1 := g.Mul(d1, d1)
+	s2 := g.Mul(d2, d2)
+	g.Output(g.Select(g.CmpLT(s1, s2), g.ConstFloat(0), g.ConstFloat(1)))
+	return g
+}
+
+// crypto is one SipRound of the SipHash ARX core on 16-bit lanes:
+// add / rotate / xor — bulk bitwise and addition, the pattern in-DRAM
+// computing is best at. (The full 64-bit SipHash-2-4 reference lives in
+// siphash.go and validates the round structure.)
+func crypto() *dfg.Graph {
+	g := dfg.NewGraph("crypto")
+	v0 := g.Input("v0")
+	v1 := g.Input("v1")
+	v2 := g.Input("v2")
+	v3 := g.Input("v3")
+	rotl := func(x dfg.NodeID, r int) dfg.NodeID {
+		return g.Or(g.Shl(x, r), g.Shr(x, 16-r))
+	}
+	a0 := g.Add(v0, v1)
+	b1 := g.Xor(rotl(v1, 5), a0)
+	a2 := g.Add(v2, v3)
+	b3 := g.Xor(rotl(v3, 8), a2)
+	c0 := g.Add(a0, b3)
+	c2 := g.Add(a2, b1)
+	g.Output(g.Xor(rotl(b1, 13), c2))
+	g.Output(g.Xor(rotl(b3, 7), c0))
+	return g
+}
+
+// dbBitmap is a bitmap-index query: AND/OR/NOT across index bitmaps —
+// pure bulk bitwise work.
+func dbBitmap() *dfg.Graph {
+	g := dfg.NewGraph("db-bitmap")
+	a := g.Input("idxA")
+	b := g.Input("idxB")
+	c := g.Input("idxC")
+	g.Output(g.And(g.Or(a, b), g.Not(c)))
+	return g
+}
+
+// dbScan is a full-scan predicate: range comparison per row with a
+// conjunctive filter.
+func dbScan() *dfg.Graph {
+	g := dfg.NewGraph("db-scan")
+	col := g.Input("col")
+	lo := g.Input("lo")
+	hi := g.Input("hi")
+	ge := g.Not(g.CmpLT(col, lo))
+	lt := g.CmpLT(col, hi)
+	g.Output(g.And(ge, lt))
+	return g
+}
+
+// bitap is one step of the Bitap (shift-or) string-search automaton:
+// R = ((R << 1) | 1) & mask[c]. One text string per lane; the loop count
+// is the text length. (The scalar reference lives in bitap.go.)
+func bitap() *dfg.Graph {
+	g := dfg.NewGraph("bitap")
+	r := g.Input("state")
+	mask := g.Input("mask")
+	g.Output(g.And(g.Or(g.Shl(r, 1), g.Const(1)), mask))
+	return g
+}
+
+// Suite returns the Table II applications. Streamcluster appears with
+// its two input sizes (A and B) and DB with its two algorithms (bitmap
+// index B and full scan S), exactly as the paper's combination table
+// references them.
+func Suite() []App {
+	return []App{
+		{Name: "blackscholes", Domain: "finance", Kernel: blackscholes(), Elements: 1 << 20, LoopCount: 64, Jobs: 8},
+		{Name: "fluidanimate", Domain: "fluid dynamics", Kernel: fluidanimate(), Elements: 1 << 21, LoopCount: 128, Jobs: 8},
+		{Name: "streamclusterA", Domain: "data mining", Kernel: streamcluster(), Elements: 1 << 18, LoopCount: 256, Jobs: 8},
+		{Name: "streamclusterB", Domain: "data mining", Kernel: streamcluster(), Elements: 1 << 24, LoopCount: 256, Jobs: 8},
+		{Name: "backprop", Domain: "pattern recog", Kernel: backprop(), Elements: 1 << 23, LoopCount: 96, Jobs: 8},
+		{Name: "kmeans", Domain: "data mining", Kernel: kmeans(), Elements: 1 << 20, LoopCount: 192, Jobs: 8},
+		{Name: "crypto", Domain: "message auth", Kernel: crypto(), Elements: 1 << 26, LoopCount: 32, Jobs: 8},
+		{Name: "dbB", Domain: "database", Kernel: dbBitmap(), Elements: 1 << 27, LoopCount: 16, Jobs: 8},
+		{Name: "dbS", Domain: "database", Kernel: dbScan(), Elements: 1 << 26, LoopCount: 24, Jobs: 8},
+		{Name: "bitap", Domain: "string search", Kernel: bitap(), Elements: 1 << 25, LoopCount: 256, Jobs: 8},
+	}
+}
+
+// ByName returns the suite entry with the given name.
+func ByName(name string) (App, bool) {
+	for _, a := range Suite() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return App{}, false
+}

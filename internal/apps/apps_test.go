@@ -1,0 +1,261 @@
+package apps
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mlimp/internal/dfg"
+	"mlimp/internal/fixed"
+	"mlimp/internal/isa"
+)
+
+func TestSuiteComplete(t *testing.T) {
+	suite := Suite()
+	// Table II: 8 applications, with streamcluster split into A/B input
+	// sizes and DB into bitmap/scan algorithms -> 10 entries.
+	if len(suite) != 10 {
+		t.Fatalf("suite size = %d, want 10", len(suite))
+	}
+	names := map[string]bool{}
+	for _, a := range suite {
+		names[a.Name] = true
+		if a.Elements <= 0 || a.LoopCount <= 0 || a.Jobs <= 0 {
+			t.Errorf("%s: bad job parameters", a.Name)
+		}
+		if err := a.Kernel.Validate(); err != nil {
+			t.Errorf("%s: invalid kernel: %v", a.Name, err)
+		}
+		if a.String() == "" || a.WorkPerJob() != int64(a.LoopCount) {
+			t.Errorf("%s: accessors wrong", a.Name)
+		}
+	}
+	for _, want := range []string{"blackscholes", "fluidanimate", "streamclusterA",
+		"streamclusterB", "backprop", "kmeans", "crypto", "dbB", "dbS", "bitap"} {
+		if !names[want] {
+			t.Errorf("missing app %q", want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if a, ok := ByName("kmeans"); !ok || a.Name != "kmeans" {
+		t.Error("ByName failed")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("bogus lookup should fail")
+	}
+}
+
+func TestEveryKernelCompilesForEveryTarget(t *testing.T) {
+	for _, a := range Suite() {
+		ps, err := isa.CompileAll(a.Kernel)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		for tgt, p := range ps {
+			if p.Cycles <= 0 {
+				t.Errorf("%s@%s: non-positive cycles", a.Name, tgt)
+			}
+		}
+	}
+}
+
+func TestInstructionMixDrivesPreference(t *testing.T) {
+	// Bulk-bitwise kernels (db bitmap, bitap, crypto) must be cheap
+	// relative to arithmetic-heavy kernels (blackscholes, backprop) on
+	// every target — the preference in Figure 17 comes from the ratio
+	// of these costs across targets, not from hard-coding.
+	ps := func(name string) map[isa.Target]*isa.Program {
+		a, ok := ByName(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		m, err := isa.CompileAll(a.Kernel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	bs := ps("blackscholes")
+	db := ps("dbB")
+	for _, tgt := range isa.Targets {
+		if bs[tgt].Cycles <= db[tgt].Cycles {
+			t.Errorf("%s: blackscholes (%d) should out-cost db bitmap (%d)",
+				tgt, bs[tgt].Cycles, db[tgt].Cycles)
+		}
+	}
+	// Division/exp2-free bitwise kernels suffer least from DRAM's slow
+	// bit-serial steps: the DRAM/SRAM cycle ratio is the flat 5x there,
+	// while the wall-clock preference comes from DRAM's huge parallelism.
+	if r := float64(db[isa.DRAM].Cycles) / float64(db[isa.SRAM].Cycles); r != 5 {
+		t.Errorf("db bitmap DRAM/SRAM cycle ratio = %v, want exactly 5", r)
+	}
+}
+
+func TestBlackscholesProducesFiniteValues(t *testing.T) {
+	a, _ := ByName("blackscholes")
+	in := map[string][]fixed.Num{
+		"spot":   {fixed.FromFloat(10)},
+		"strike": {fixed.FromFloat(8)},
+		"time":   {fixed.FromFloat(1)},
+		"vol":    {fixed.FromFloat(0.3)},
+	}
+	outs, err := a.Kernel.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	call := outs[0][0].Float()
+	// In-the-money call on spot 10 / strike 8 must be worth something
+	// but less than the spot.
+	if call <= 0 || call >= 10 {
+		t.Errorf("call price = %v, not plausible", call)
+	}
+}
+
+func TestKmeansPicksNearerCentre(t *testing.T) {
+	a, _ := ByName("kmeans")
+	outs, err := a.Kernel.Run(map[string][]fixed.Num{
+		"x":  {fixed.FromFloat(1), fixed.FromFloat(9)},
+		"c1": {fixed.FromFloat(0), fixed.FromFloat(0)},
+		"c2": {fixed.FromFloat(10), fixed.FromFloat(10)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0][0].Float() != 0 || outs[0][1].Float() != 1 {
+		t.Errorf("assignments = %v, %v", outs[0][0].Float(), outs[0][1].Float())
+	}
+}
+
+func TestStreamclusterKeepsBest(t *testing.T) {
+	a, _ := ByName("streamclusterA")
+	in := map[string][]fixed.Num{"best": {fixed.FromFloat(7)}}
+	// Point at distance 3 on dim 0 and 4 on dim 1 from the centre:
+	// squared distance 25 > best 7, so best is kept.
+	for i := 0; i < 16; i++ {
+		in[fmt.Sprintf("x%d", i)] = []fixed.Num{0}
+		in[fmt.Sprintf("c%d", i)] = []fixed.Num{0}
+	}
+	in["x0"] = []fixed.Num{fixed.FromFloat(3)}
+	in["x1"] = []fixed.Num{fixed.FromFloat(4)}
+	outs, err := a.Kernel.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0][0].Float() != 7 {
+		t.Errorf("best = %v, want 7", outs[0][0].Float())
+	}
+	// A closer point updates the best: distance 1 < 7.
+	in["x0"] = []fixed.Num{fixed.FromFloat(1)}
+	in["x1"] = []fixed.Num{0}
+	outs, err = a.Kernel.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0][0].Float() != 1 {
+		t.Errorf("updated best = %v, want 1", outs[0][0].Float())
+	}
+}
+
+func TestDBScanPredicate(t *testing.T) {
+	a, _ := ByName("dbS")
+	outs, err := a.Kernel.Run(map[string][]fixed.Num{
+		"col": {fixed.FromInt(5), fixed.FromInt(1), fixed.FromInt(9)},
+		"lo":  {fixed.FromInt(2), fixed.FromInt(2), fixed.FromInt(2)},
+		"hi":  {fixed.FromInt(8), fixed.FromInt(8), fixed.FromInt(8)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.0 / 256, 0, 0} // raw bit 1 where in range
+	for i, w := range want {
+		if outs[0][i].Float() != w {
+			t.Errorf("row %d predicate = %v, want %v", i, outs[0][i].Float(), w)
+		}
+	}
+}
+
+func TestBitapDFGStepMatchesReference(t *testing.T) {
+	// Drive the DFG one character at a time and compare against the
+	// scalar bitap automaton.
+	a, _ := ByName("bitap")
+	text, pattern := "abracadabra", "cad"
+	masks := BitapMasks(pattern)
+	var r uint16
+	state := fixed.Num(0)
+	for i := 0; i < len(text); i++ {
+		r = ((r << 1) | 1) & masks[text[i]]
+		outs, err := a.Kernel.Run(map[string][]fixed.Num{
+			"state": {state},
+			"mask":  {fixed.Num(masks[text[i]])},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		state = outs[0][0]
+		if uint16(state) != r {
+			t.Fatalf("step %d: DFG state %04x != reference %04x", i, uint16(state), r)
+		}
+	}
+}
+
+func TestBitapSearch(t *testing.T) {
+	if got := BitapSearch("abracadabra", "cad"); got != 4 {
+		t.Errorf("BitapSearch = %d, want 4", got)
+	}
+	if got := BitapSearch("hello", "xyz"); got != -1 {
+		t.Errorf("miss = %d, want -1", got)
+	}
+	if got := BitapSearch("aaa", "aaa"); got != 0 {
+		t.Errorf("full match = %d, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("long pattern should panic")
+		}
+	}()
+	BitapMasks(strings.Repeat("x", 17))
+}
+
+func TestSipHashKnownVector(t *testing.T) {
+	// Reference vector from the SipHash paper (Appendix A): key
+	// 000102...0f, message 000102...0e -> 0xa129ca6149be45e5.
+	var key [16]byte
+	for i := range key {
+		key[i] = byte(i)
+	}
+	msg := make([]byte, 15)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	if got := SipHash24(key, msg); got != 0xa129ca6149be45e5 {
+		t.Errorf("SipHash24 = %#x, want 0xa129ca6149be45e5", got)
+	}
+}
+
+func TestSipHashEmptyAndBlockBoundary(t *testing.T) {
+	var key [16]byte
+	for i := range key {
+		key[i] = byte(i)
+	}
+	// Vectors from the reference implementation's test file.
+	if got := SipHash24(key, nil); got != 0x726fdb47dd0e0e31 {
+		t.Errorf("empty = %#x", got)
+	}
+	msg8 := []byte{0, 1, 2, 3, 4, 5, 6, 7}
+	if got := SipHash24(key, msg8); got != 0x93f5f5799a932462 {
+		t.Errorf("8-byte = %#x", got)
+	}
+}
+
+func TestCryptoKernelIsARX(t *testing.T) {
+	a, _ := ByName("crypto")
+	mix := a.Kernel.Mix()
+	if mix[dfg.OpAdd] == 0 || mix[dfg.OpXor] == 0 || mix[dfg.OpShl] == 0 {
+		t.Errorf("crypto kernel should be add/rotate/xor, mix = %v", mix)
+	}
+	if mix[dfg.OpMul] != 0 || mix[dfg.OpDiv] != 0 {
+		t.Error("crypto kernel must not use mul/div")
+	}
+}

@@ -1,0 +1,39 @@
+package apps
+
+// Bitap (shift-or / Baeza-Yates–Gonnet) exact string search, the
+// bioinformatics kernel of Table II. BitapSearch is the scalar reference
+// for the per-step DFG kernel: the automaton state update
+// R = ((R << 1) | 1) & mask[c] runs once per text character, which is
+// why the bitap App's loop count is the text length.
+
+// BitapMasks precomputes the per-character match masks for a pattern of
+// length <= 16 (the lane width of the DFG kernel).
+func BitapMasks(pattern string) [256]uint16 {
+	if len(pattern) == 0 || len(pattern) > 16 {
+		panic("apps: bitap pattern must be 1..16 bytes")
+	}
+	var masks [256]uint16
+	for i := range masks {
+		masks[i] = 0
+	}
+	for i := 0; i < len(pattern); i++ {
+		masks[pattern[i]] |= 1 << uint(i)
+	}
+	return masks
+}
+
+// BitapSearch returns the index of the first occurrence of pattern in
+// text, or -1. It uses the shift-AND formulation matching the DFG
+// kernel's step.
+func BitapSearch(text, pattern string) int {
+	masks := BitapMasks(pattern)
+	goal := uint16(1) << uint(len(pattern)-1)
+	var r uint16
+	for i := 0; i < len(text); i++ {
+		r = ((r << 1) | 1) & masks[text[i]]
+		if r&goal != 0 {
+			return i - len(pattern) + 1
+		}
+	}
+	return -1
+}

@@ -1,0 +1,63 @@
+package apps
+
+import "encoding/binary"
+
+// SipHash-2-4 reference implementation (Aumasson & Bernstein), the
+// message-authentication kernel the paper's Crypto benchmark derives
+// from. It is used to validate the ARX round structure the DFG kernel
+// mirrors on 16-bit lanes, and by the examples as real workload input.
+
+func sipRound(v0, v1, v2, v3 uint64) (uint64, uint64, uint64, uint64) {
+	v0 += v1
+	v1 = v1<<13 | v1>>(64-13)
+	v1 ^= v0
+	v0 = v0<<32 | v0>>32
+	v2 += v3
+	v3 = v3<<16 | v3>>(64-16)
+	v3 ^= v2
+	v0 += v3
+	v3 = v3<<21 | v3>>(64-21)
+	v3 ^= v0
+	v2 += v1
+	v1 = v1<<17 | v1>>(64-17)
+	v1 ^= v2
+	v2 = v2<<32 | v2>>32
+	return v0, v1, v2, v3
+}
+
+// SipHash24 computes the 64-bit SipHash-2-4 MAC of msg under a 16-byte
+// key.
+func SipHash24(key [16]byte, msg []byte) uint64 {
+	k0 := binary.LittleEndian.Uint64(key[0:8])
+	k1 := binary.LittleEndian.Uint64(key[8:16])
+	v0 := k0 ^ 0x736f6d6570736575
+	v1 := k1 ^ 0x646f72616e646f6d
+	v2 := k0 ^ 0x6c7967656e657261
+	v3 := k1 ^ 0x7465646279746573
+
+	full := len(msg) / 8
+	for i := 0; i < full; i++ {
+		m := binary.LittleEndian.Uint64(msg[i*8:])
+		v3 ^= m
+		v0, v1, v2, v3 = sipRound(v0, v1, v2, v3)
+		v0, v1, v2, v3 = sipRound(v0, v1, v2, v3)
+		v0 ^= m
+	}
+	// Final block: remaining bytes plus the length byte.
+	var m uint64
+	rest := msg[full*8:]
+	for i := len(rest) - 1; i >= 0; i-- {
+		m = m<<8 | uint64(rest[i])
+	}
+	m |= uint64(len(msg)) << 56
+	v3 ^= m
+	v0, v1, v2, v3 = sipRound(v0, v1, v2, v3)
+	v0, v1, v2, v3 = sipRound(v0, v1, v2, v3)
+	v0 ^= m
+
+	v2 ^= 0xff
+	for i := 0; i < 4; i++ {
+		v0, v1, v2, v3 = sipRound(v0, v1, v2, v3)
+	}
+	return v0 ^ v1 ^ v2 ^ v3
+}

@@ -1,0 +1,132 @@
+// Package baseline models the evaluation's conventional platforms: the
+// dual-socket Xeon E5-2697 v3 host and the NVIDIA Titan XP GPU with its
+// PCIe 3.0 x16 link (Section V-A). These are analytical roofline models
+// — kernel time is the max of the compute and memory-bandwidth bounds,
+// plus host-device transfer for the GPU — parameterised by the devices'
+// published peaks. They enter the evaluation only as aggregate time and
+// power scalars (DESIGN.md substitution table).
+package baseline
+
+import (
+	"fmt"
+
+	"mlimp/internal/event"
+)
+
+// Device is a roofline-modelled conventional processor.
+type Device struct {
+	Name string
+	// PeakGOPS is peak 16/32-bit arithmetic throughput in 1e9 ops/s.
+	PeakGOPS float64
+	// MemBWGBs is peak memory bandwidth in GB/s.
+	MemBWGBs float64
+	// GEMMEff and SpMMEff derate the peak for dense and sparse kernels
+	// (sparse aggregation is memory-bound and wildly inefficient on both
+	// platforms; the 2-5% figures follow the SpMM literature the paper
+	// cites [25], [34]).
+	GEMMEff, SpMMEff, VaddEff float64
+	// RandomBWGBs is the effective bandwidth of irregular gathers (far
+	// below the streaming peak on both platforms).
+	RandomBWGBs float64
+	// TransferGBs is the host link bandwidth (0 = no transfer needed).
+	TransferGBs float64
+	// Launch is the per-kernel dispatch overhead.
+	Launch event.Time
+	// PowerW is average board/package power under load.
+	PowerW float64
+	// IdleW is idle power charged while waiting.
+	IdleW float64
+}
+
+// TitanXP returns the GPU baseline: 12.1 TFLOPS FP32 / ~24 TOPS INT16
+// class card, 547 GB/s GDDR5X, PCIe 3.0 x16 at ~12 GB/s effective.
+func TitanXP() Device {
+	return Device{
+		Name: "TitanXP", PeakGOPS: 12150, MemBWGBs: 547,
+		GEMMEff: 0.60, SpMMEff: 0.05, VaddEff: 0.80,
+		RandomBWGBs: 100, TransferGBs: 12,
+		Launch: 5 * event.Microsecond,
+		PowerW: 180, IdleW: 15,
+	}
+}
+
+// XeonE5 returns the CPU baseline: dual-socket E5-2697 v3 (2 x 14 cores,
+// AVX2) with 4-channel DDR4-2133, ~1.3 TFLOPS FP32 and 68 GB/s per
+// socket.
+func XeonE5() Device {
+	return Device{
+		Name: "XeonE5-2697v3", PeakGOPS: 1300, MemBWGBs: 136,
+		GEMMEff: 0.70, SpMMEff: 0.02, VaddEff: 0.50,
+		RandomBWGBs: 2.0, TransferGBs: 0,
+		Launch: 2 * event.Microsecond,
+		PowerW: 290, IdleW: 80,
+	}
+}
+
+// kernelTime is the roofline: launch overhead plus the max of the
+// compute, streaming, and (when randomBytes > 0) irregular-access
+// bounds. Host transfer is billed separately by TransferTime.
+func (d Device) kernelTime(ops, bytes, randomBytes int64, eff float64) event.Time {
+	if eff <= 0 {
+		panic("baseline: non-positive efficiency")
+	}
+	compute := float64(ops) / (d.PeakGOPS * eff * 1e9)
+	memory := float64(bytes) / (d.MemBWGBs * 1e9)
+	t := compute
+	if memory > t {
+		t = memory
+	}
+	if randomBytes > 0 && d.RandomBWGBs > 0 {
+		if rt := float64(randomBytes) / (d.RandomBWGBs * 1e9); rt > t {
+			t = rt
+		}
+	}
+	return d.Launch + event.Time(t*float64(event.Second))
+}
+
+// TransferTime is the host-device link time for moving bytes (zero for
+// devices without a link, i.e. the CPU).
+func (d Device) TransferTime(bytes int64) event.Time {
+	if d.TransferGBs <= 0 || bytes <= 0 {
+		return 0
+	}
+	return event.Time(float64(bytes) / (d.TransferGBs * 1e9) * float64(event.Second))
+}
+
+// GEMMTime returns the time for an r x k x c dense multiply, including
+// streaming the operands over the host link where applicable.
+func (d Device) GEMMTime(r, k, c int) event.Time {
+	ops := 2 * int64(r) * int64(k) * int64(c)
+	bytes := 2 * (int64(r)*int64(k) + int64(k)*int64(c) + int64(r)*int64(c))
+	return d.kernelTime(ops, bytes, 0, d.GEMMEff)
+}
+
+// SpMMTime returns the time for sparse-times-dense aggregation with nnz
+// nonzeros and feature width f over n dense rows.
+func (d Device) SpMMTime(nnz, n, f int) event.Time {
+	ops := 2 * int64(nnz) * int64(f)
+	// Sparse aggregation gathers one dense feature row per nonzero —
+	// the irregular traffic that dominates on both platforms.
+	gathered := int64(nnz) * int64(f) * 2
+	bytes := gathered + int64(n)*int64(f)*2
+	return d.kernelTime(ops, bytes, gathered, d.SpMMEff)
+}
+
+// VaddTime returns the time for an n-element elementwise addition.
+func (d Device) VaddTime(n int) event.Time {
+	return d.kernelTime(int64(n), 6*int64(n), 0, d.VaddEff)
+}
+
+// EnergyJ returns the energy of running busy for the given duration plus
+// idling for the rest of a window.
+func (d Device) EnergyJ(busy, total event.Time) float64 {
+	if total < busy {
+		total = busy
+	}
+	return d.PowerW*busy.Seconds() + d.IdleW*(total-busy).Seconds()
+}
+
+// String names the device.
+func (d Device) String() string {
+	return fmt.Sprintf("%s (%.1f TOPS, %.0f GB/s)", d.Name, d.PeakGOPS/1000, d.MemBWGBs)
+}

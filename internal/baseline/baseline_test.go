@@ -1,0 +1,108 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDeviceConstructors(t *testing.T) {
+	gpu, cpu := TitanXP(), XeonE5()
+	if gpu.PeakGOPS <= cpu.PeakGOPS {
+		t.Error("GPU should have higher peak throughput")
+	}
+	if gpu.MemBWGBs <= cpu.MemBWGBs {
+		t.Error("GPU should have higher memory bandwidth")
+	}
+	if cpu.TransferGBs != 0 {
+		t.Error("CPU needs no host link")
+	}
+	if !strings.Contains(gpu.String(), "TitanXP") {
+		t.Errorf("String = %q", gpu.String())
+	}
+}
+
+func TestGEMMRoofline(t *testing.T) {
+	gpu := TitanXP()
+	// Large square GEMM is compute bound: time ~ 2n^3 / (peak * eff).
+	n := 2048
+	got := gpu.GEMMTime(n, n, n).Seconds()
+	want := 2 * float64(n) * float64(n) * float64(n) / (gpu.PeakGOPS * gpu.GEMMEff * 1e9)
+	if got < want || got > want*1.2 {
+		t.Errorf("GEMM time = %v, want ~%v", got, want)
+	}
+	// Bigger problems take longer.
+	if gpu.GEMMTime(64, 64, 64) >= gpu.GEMMTime(512, 512, 512) {
+		t.Error("GEMM time not monotone in size")
+	}
+}
+
+func TestSpMMIsGatherBound(t *testing.T) {
+	cpu := XeonE5()
+	// For sparse aggregation the random-access floor dominates on CPU.
+	nnz, n, f := 100000, 20000, 128
+	got := cpu.SpMMTime(nnz, n, f).Seconds()
+	gatherBound := float64(nnz) * float64(f) * 2 / (cpu.RandomBWGBs * 1e9)
+	if got < gatherBound {
+		t.Errorf("SpMM %v below the gather bound %v", got, gatherBound)
+	}
+}
+
+func TestGPUFarFasterThanCPUOnSpMM(t *testing.T) {
+	// Section V-B2: GPU accelerates the compute kernels dramatically
+	// over CPU (the paper's CPU/GPU gap is ~50x end to end).
+	gpu, cpu := TitanXP(), XeonE5()
+	nnz, n, f := 500000, 50000, 128
+	ratio := float64(cpu.SpMMTime(nnz, n, f)) / float64(gpu.SpMMTime(nnz, n, f))
+	if ratio < 10 {
+		t.Errorf("CPU/GPU SpMM ratio = %.1f, want large", ratio)
+	}
+}
+
+func TestLaunchOverheadFloorsSmallKernels(t *testing.T) {
+	gpu := TitanXP()
+	if got := gpu.VaddTime(1); got < gpu.Launch {
+		t.Errorf("tiny kernel %v below launch overhead %v", got, gpu.Launch)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	gpu, cpu := TitanXP(), XeonE5()
+	if cpu.TransferTime(1<<30) != 0 {
+		t.Error("CPU transfers should be free")
+	}
+	sec := gpu.TransferTime(12 << 30).Seconds()
+	if sec < 0.9 || sec > 1.1 {
+		t.Errorf("12 GiB over 12 GB/s = %v s, want ~1", sec)
+	}
+	if gpu.TransferTime(0) != 0 {
+		t.Error("zero bytes should be free")
+	}
+}
+
+func TestEnergy(t *testing.T) {
+	gpu := TitanXP()
+	busy := gpu.GEMMTime(1024, 1024, 1024)
+	e := gpu.EnergyJ(busy, busy)
+	if want := gpu.PowerW * busy.Seconds(); e != want {
+		t.Errorf("busy energy = %v, want %v", e, want)
+	}
+	// Idle time adds idle power.
+	if gpu.EnergyJ(busy, 2*busy) <= e {
+		t.Error("idle window should add energy")
+	}
+	// total < busy is clamped.
+	if gpu.EnergyJ(busy, 0) != e {
+		t.Error("clamping broken")
+	}
+}
+
+func TestKernelTimePanicsOnZeroEff(t *testing.T) {
+	d := TitanXP()
+	d.GEMMEff = 0
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	d.GEMMTime(2, 2, 2)
+}

@@ -1,0 +1,246 @@
+// Package dfg implements the SIMD data-flow-graph programming frontend of
+// MLIMP (Section III-A). Data-parallel kernels are described once as a
+// DFG over integer vector operations and cross-compiled by backend
+// compilers (internal/isa) for each in-memory ISA. The package also
+// provides a reference interpreter so every kernel's functional behaviour
+// can be checked independently of any device model.
+package dfg
+
+import (
+	"fmt"
+
+	"mlimp/internal/fixed"
+)
+
+// Op is a SIMD vector operation of the common programming interface. The
+// paper's interface is the intersection of the operations the three
+// in-memory substrates support: integer add/sub/mul/div, comparison,
+// moves, bitwise logic, and simple transcendentals (exp2). Dot is the
+// multi-operand MAC exposed for ReRAM's analog accumulation; backends
+// without native support legalise it into mul+add chains.
+type Op uint8
+
+// Operations of the common interface.
+const (
+	OpConst Op = iota // broadcast immediate
+	OpInput           // kernel input vector
+	OpMov
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMin
+	OpMax
+	OpCmpLT // 1 if a < b else 0
+	OpCmpEQ
+	OpAnd
+	OpOr
+	OpXor
+	OpNot
+	OpShl // shift left by immediate
+	OpShr // arithmetic shift right by immediate
+	OpSelect
+	OpExp2
+	OpDot       // multi-operand MAC: sum_i(args[2i]*args[2i+1])
+	OpReduceAdd // horizontal sum across the vector, broadcast back
+	OpReduceMax
+	numOps
+)
+
+var opNames = [numOps]string{
+	"const", "input", "mov", "add", "sub", "mul", "div", "min", "max",
+	"cmplt", "cmpeq", "and", "or", "xor", "not", "shl", "shr", "select",
+	"exp2", "dot", "reduce_add", "reduce_max",
+}
+
+// String returns the mnemonic of the operation.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// arity returns the expected operand count; -1 means variadic.
+func (o Op) arity() int {
+	switch o {
+	case OpConst, OpInput:
+		return 0
+	case OpMov, OpNot, OpExp2, OpReduceAdd, OpReduceMax:
+		return 1
+	case OpShl, OpShr:
+		return 1 // plus immediate
+	case OpSelect:
+		return 3
+	case OpDot:
+		return -1
+	default:
+		return 2
+	}
+}
+
+// NodeID identifies a node within one Graph.
+type NodeID int32
+
+// Node is one vector operation in the DFG.
+type Node struct {
+	ID   NodeID
+	Op   Op
+	Args []NodeID
+	Imm  fixed.Num // OpConst value or OpShl/OpShr shift amount
+	Name string    // OpInput name, for binding
+}
+
+// Graph is a SIMD data-flow graph. Nodes are stored in topological order
+// by construction: the builder only lets a node reference earlier nodes,
+// so cycles cannot be expressed.
+type Graph struct {
+	Name    string
+	nodes   []Node
+	outputs []NodeID
+}
+
+// NewGraph returns an empty kernel graph with the given name.
+func NewGraph(name string) *Graph { return &Graph{Name: name} }
+
+func (g *Graph) add(op Op, imm fixed.Num, name string, args ...NodeID) NodeID {
+	if a := op.arity(); a >= 0 && len(args) != a {
+		panic(fmt.Sprintf("dfg: %s expects %d args, got %d", op, a, len(args)))
+	}
+	if op == OpDot && (len(args) == 0 || len(args)%2 != 0) {
+		panic("dfg: dot expects a positive even number of args")
+	}
+	for _, a := range args {
+		if a < 0 || int(a) >= len(g.nodes) {
+			panic(fmt.Sprintf("dfg: arg %d out of range (forward reference?)", a))
+		}
+	}
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, Node{ID: id, Op: op, Args: args, Imm: imm, Name: name})
+	return id
+}
+
+// Input declares a named kernel input vector.
+func (g *Graph) Input(name string) NodeID { return g.add(OpInput, 0, name) }
+
+// Const declares a broadcast constant.
+func (g *Graph) Const(v fixed.Num) NodeID { return g.add(OpConst, v, "") }
+
+// ConstFloat declares a broadcast constant from a float value.
+func (g *Graph) ConstFloat(v float64) NodeID { return g.Const(fixed.FromFloat(v)) }
+
+// Unary and binary operation constructors.
+
+// Mov copies a vector.
+func (g *Graph) Mov(a NodeID) NodeID { return g.add(OpMov, 0, "", a) }
+
+// Add returns a+b.
+func (g *Graph) Add(a, b NodeID) NodeID { return g.add(OpAdd, 0, "", a, b) }
+
+// Sub returns a-b.
+func (g *Graph) Sub(a, b NodeID) NodeID { return g.add(OpSub, 0, "", a, b) }
+
+// Mul returns a*b.
+func (g *Graph) Mul(a, b NodeID) NodeID { return g.add(OpMul, 0, "", a, b) }
+
+// Div returns a/b.
+func (g *Graph) Div(a, b NodeID) NodeID { return g.add(OpDiv, 0, "", a, b) }
+
+// Min returns min(a, b).
+func (g *Graph) Min(a, b NodeID) NodeID { return g.add(OpMin, 0, "", a, b) }
+
+// Max returns max(a, b).
+func (g *Graph) Max(a, b NodeID) NodeID { return g.add(OpMax, 0, "", a, b) }
+
+// CmpLT returns 1 where a < b, else 0.
+func (g *Graph) CmpLT(a, b NodeID) NodeID { return g.add(OpCmpLT, 0, "", a, b) }
+
+// CmpEQ returns 1 where a == b, else 0.
+func (g *Graph) CmpEQ(a, b NodeID) NodeID { return g.add(OpCmpEQ, 0, "", a, b) }
+
+// And returns a&b.
+func (g *Graph) And(a, b NodeID) NodeID { return g.add(OpAnd, 0, "", a, b) }
+
+// Or returns a|b.
+func (g *Graph) Or(a, b NodeID) NodeID { return g.add(OpOr, 0, "", a, b) }
+
+// Xor returns a^b.
+func (g *Graph) Xor(a, b NodeID) NodeID { return g.add(OpXor, 0, "", a, b) }
+
+// Not returns ^a.
+func (g *Graph) Not(a NodeID) NodeID { return g.add(OpNot, 0, "", a) }
+
+// Shl returns a << k.
+func (g *Graph) Shl(a NodeID, k int) NodeID { return g.add(OpShl, fixed.Num(k), "", a) }
+
+// Shr returns a >> k (arithmetic).
+func (g *Graph) Shr(a NodeID, k int) NodeID { return g.add(OpShr, fixed.Num(k), "", a) }
+
+// Select returns b where cond != 0, else c.
+func (g *Graph) Select(cond, b, c NodeID) NodeID { return g.add(OpSelect, 0, "", cond, b, c) }
+
+// Exp2 returns 2^a.
+func (g *Graph) Exp2(a NodeID) NodeID { return g.add(OpExp2, 0, "", a) }
+
+// Dot returns the multi-operand MAC sum(args[2i]*args[2i+1]).
+func (g *Graph) Dot(pairs ...NodeID) NodeID { return g.add(OpDot, 0, "", pairs...) }
+
+// ReduceAdd returns the horizontal sum of a broadcast to all lanes.
+func (g *Graph) ReduceAdd(a NodeID) NodeID { return g.add(OpReduceAdd, 0, "", a) }
+
+// ReduceMax returns the horizontal max of a broadcast to all lanes.
+func (g *Graph) ReduceMax(a NodeID) NodeID { return g.add(OpReduceMax, 0, "", a) }
+
+// Output marks a node as a kernel output.
+func (g *Graph) Output(id NodeID) {
+	if id < 0 || int(id) >= len(g.nodes) {
+		panic("dfg: output id out of range")
+	}
+	g.outputs = append(g.outputs, id)
+}
+
+// Nodes returns the nodes in topological order.
+func (g *Graph) Nodes() []Node { return g.nodes }
+
+// Outputs returns the declared output node ids.
+func (g *Graph) Outputs() []NodeID { return g.outputs }
+
+// Inputs returns the declared input names in declaration order.
+func (g *Graph) Inputs() []string {
+	var names []string
+	for _, n := range g.nodes {
+		if n.Op == OpInput {
+			names = append(names, n.Name)
+		}
+	}
+	return names
+}
+
+// Mix returns the instruction mix: how many nodes use each operation.
+// The kernel's memory preference is largely a function of this mix
+// (Section II-C1), so the scheduler's static analysis starts here.
+func (g *Graph) Mix() map[Op]int {
+	m := make(map[Op]int)
+	for _, n := range g.nodes {
+		m[n.Op]++
+	}
+	return m
+}
+
+// Validate checks structural invariants: at least one output, every
+// output reachable, all argument references in range. The builder
+// enforces most of this; Validate is the belt-and-braces check for
+// graphs assembled programmatically.
+func (g *Graph) Validate() error {
+	if len(g.outputs) == 0 {
+		return fmt.Errorf("dfg %q: no outputs declared", g.Name)
+	}
+	for _, n := range g.nodes {
+		for _, a := range n.Args {
+			if a < 0 || a >= n.ID {
+				return fmt.Errorf("dfg %q: node %d has invalid arg %d", g.Name, n.ID, a)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,218 @@
+package dfg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mlimp/internal/fixed"
+)
+
+// axpy builds y = a*x + b as a test kernel.
+func axpy(a, b float64) *Graph {
+	g := NewGraph("axpy")
+	x := g.Input("x")
+	ca := g.ConstFloat(a)
+	cb := g.ConstFloat(b)
+	g.Output(g.Add(g.Mul(ca, x), cb))
+	return g
+}
+
+func TestRunAxpy(t *testing.T) {
+	g := axpy(2, 1)
+	in := []fixed.Num{fixed.FromInt(0), fixed.FromInt(1), fixed.FromInt(-3)}
+	outs, err := g.Run(map[string][]fixed.Num{"x": in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 3, -5}
+	for i, w := range want {
+		if got := outs[0][i].Float(); got != w {
+			t.Errorf("out[%d] = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestRunAllOps(t *testing.T) {
+	g := NewGraph("allops")
+	x := g.Input("x")
+	y := g.Input("y")
+	two := g.ConstFloat(2)
+	ops := []NodeID{
+		g.Mov(x),
+		g.Sub(x, y),
+		g.Div(x, two),
+		g.Min(x, y),
+		g.Max(x, y),
+		g.CmpLT(x, y),
+		g.CmpEQ(x, y),
+		g.And(x, y),
+		g.Or(x, y),
+		g.Xor(x, y),
+		g.Not(x),
+		g.Shl(x, 1),
+		g.Shr(x, 1),
+		g.Select(g.CmpLT(x, y), x, y),
+		g.Exp2(g.Const(fixed.FromInt(1))),
+		g.Dot(x, y, x, x),
+		g.ReduceAdd(x),
+		g.ReduceMax(x),
+	}
+	for _, id := range ops {
+		g.Output(id)
+	}
+	xs := []fixed.Num{fixed.FromInt(1), fixed.FromInt(4)}
+	ys := []fixed.Num{fixed.FromInt(3), fixed.FromInt(2)}
+	outs, err := g.Run(map[string][]fixed.Num{"x": xs, "y": ys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(i, lane int) float64 { return outs[i][lane].Float() }
+	checks := []struct {
+		idx  int
+		lane int
+		want float64
+	}{
+		{0, 0, 1},         // mov
+		{1, 0, -2},        // sub
+		{2, 1, 2},         // div
+		{3, 0, 1},         // min
+		{4, 0, 3},         // max
+		{5, 0, 1.0 / 256}, // cmplt -> raw 1
+		{6, 1, 0},         // cmpeq
+		{13, 0, 1},        // select: 1<3 -> x
+		{13, 1, 2},        // select: 4<2 false -> y
+		{14, 0, 2},        // exp2(1)
+		{16, 0, 5},        // reduce_add over [1,4]
+		{16, 1, 5},
+		{17, 0, 4}, // reduce_max
+	}
+	for _, c := range checks {
+		if got := get(c.idx, c.lane); got != c.want {
+			t.Errorf("op %d lane %d = %v, want %v", c.idx, c.lane, got, c.want)
+		}
+	}
+	// dot(x,y,x,x) = x*y + x*x: lane0 = 3+1 = 4, lane1 = 8+16 = 24
+	if get(15, 0) != 4 || get(15, 1) != 24 {
+		t.Errorf("dot = %v,%v", get(15, 0), get(15, 1))
+	}
+	// bitwise ops operate on raw bit patterns
+	if outs[7][0] != xs[0]&ys[0] || outs[8][0] != xs[0]|ys[0] || outs[9][0] != xs[0]^ys[0] {
+		t.Error("bitwise results wrong")
+	}
+	if outs[10][0] != ^xs[0] {
+		t.Error("not wrong")
+	}
+	if outs[11][0] != xs[0]<<1 || outs[12][0] != xs[0]>>1 {
+		t.Error("shift wrong")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	g := axpy(1, 0)
+	if _, err := g.Run(map[string][]fixed.Num{}); err == nil {
+		t.Error("missing input should error")
+	}
+	if _, err := g.Run(map[string][]fixed.Num{"z": {1}}); err == nil {
+		t.Error("wrong input name should error")
+	}
+	g2 := NewGraph("two")
+	a := g2.Input("a")
+	b := g2.Input("b")
+	g2.Output(g2.Add(a, b))
+	if _, err := g2.Run(map[string][]fixed.Num{"a": {1, 2}, "b": {1}}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	empty := NewGraph("empty")
+	empty.Input("x")
+	if _, err := empty.Run(map[string][]fixed.Num{"x": {1}}); err == nil {
+		t.Error("no outputs should error")
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	cases := []func(*Graph){
+		func(g *Graph) { g.Add(g.Input("x"), 99) },           // forward ref
+		func(g *Graph) { g.add(OpAdd, 0, "", g.Input("x")) }, // bad arity
+		func(g *Graph) { g.Dot(g.Input("x")) },               // odd dot args
+		func(g *Graph) { g.Output(42) },                      // bad output
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f(NewGraph("p"))
+		}()
+	}
+}
+
+func TestMixAndInputs(t *testing.T) {
+	g := NewGraph("mix")
+	x := g.Input("x")
+	y := g.Input("y")
+	g.Output(g.Add(g.Mul(x, y), g.Mul(x, x)))
+	mix := g.Mix()
+	if mix[OpMul] != 2 || mix[OpAdd] != 1 || mix[OpInput] != 2 {
+		t.Errorf("mix = %v", mix)
+	}
+	ins := g.Inputs()
+	if len(ins) != 2 || ins[0] != "x" || ins[1] != "y" {
+		t.Errorf("inputs = %v", ins)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpAdd.String() != "add" || OpDot.String() != "dot" {
+		t.Error("op names wrong")
+	}
+	if Op(200).String() == "" {
+		t.Error("unknown op should still render")
+	}
+}
+
+// Property: the interpreter matches direct fixed-point evaluation for a
+// random arithmetic expression tree.
+func TestInterpreterMatchesDirectEval(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGraph("rand")
+		x := g.Input("x")
+		y := g.Input("y")
+		ids := []NodeID{x, y}
+		// Mirror evaluation for lane values a, b.
+		a := fixed.FromFloat(rng.Float64()*4 - 2)
+		b := fixed.FromFloat(rng.Float64()*4 - 2)
+		vals := map[NodeID]fixed.Num{x: a, y: b}
+		for i := 0; i < 10; i++ {
+			l := ids[rng.Intn(len(ids))]
+			r := ids[rng.Intn(len(ids))]
+			var id NodeID
+			var v fixed.Num
+			switch rng.Intn(4) {
+			case 0:
+				id, v = g.Add(l, r), fixed.Add(vals[l], vals[r])
+			case 1:
+				id, v = g.Sub(l, r), fixed.Sub(vals[l], vals[r])
+			case 2:
+				id, v = g.Mul(l, r), fixed.Mul(vals[l], vals[r])
+			case 3:
+				id, v = g.Max(l, r), fixed.Max(vals[l], vals[r])
+			}
+			ids = append(ids, id)
+			vals[id] = v
+		}
+		out := ids[len(ids)-1]
+		g.Output(out)
+		res, err := g.Run(map[string][]fixed.Num{"x": {a}, "y": {b}})
+		if err != nil {
+			return false
+		}
+		return res[0][0] == vals[out]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

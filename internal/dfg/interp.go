@@ -1,0 +1,138 @@
+package dfg
+
+import (
+	"fmt"
+
+	"mlimp/internal/fixed"
+)
+
+// Run interprets the kernel over vectors of fixed-point values. All input
+// vectors must share one length; outputs have the same length. Run is the
+// functional reference the in-memory device models are validated against.
+func (g *Graph) Run(inputs map[string][]fixed.Num) ([][]fixed.Num, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	width := -1
+	for name, v := range inputs {
+		if width == -1 {
+			width = len(v)
+		} else if len(v) != width {
+			return nil, fmt.Errorf("dfg %q: input %q length %d != %d", g.Name, name, len(v), width)
+		}
+	}
+	if width <= 0 {
+		return nil, fmt.Errorf("dfg %q: no input data", g.Name)
+	}
+
+	vals := make([][]fixed.Num, len(g.nodes))
+	for _, n := range g.nodes {
+		out := make([]fixed.Num, width)
+		switch n.Op {
+		case OpInput:
+			in, ok := inputs[n.Name]
+			if !ok {
+				return nil, fmt.Errorf("dfg %q: missing input %q", g.Name, n.Name)
+			}
+			copy(out, in)
+		case OpConst:
+			for i := range out {
+				out[i] = n.Imm
+			}
+		case OpMov:
+			copy(out, vals[n.Args[0]])
+		case OpNot:
+			for i, v := range vals[n.Args[0]] {
+				out[i] = ^v
+			}
+		case OpExp2:
+			for i, v := range vals[n.Args[0]] {
+				out[i] = fixed.Exp2(v)
+			}
+		case OpShl:
+			for i, v := range vals[n.Args[0]] {
+				out[i] = v << uint(n.Imm)
+			}
+		case OpShr:
+			for i, v := range vals[n.Args[0]] {
+				out[i] = v >> uint(n.Imm)
+			}
+		case OpSelect:
+			c, b, e := vals[n.Args[0]], vals[n.Args[1]], vals[n.Args[2]]
+			for i := range out {
+				if c[i] != 0 {
+					out[i] = b[i]
+				} else {
+					out[i] = e[i]
+				}
+			}
+		case OpDot:
+			for i := range out {
+				var acc fixed.Num
+				for p := 0; p < len(n.Args); p += 2 {
+					acc = fixed.Add(acc, fixed.Mul(vals[n.Args[p]][i], vals[n.Args[p+1]][i]))
+				}
+				out[i] = acc
+			}
+		case OpReduceAdd:
+			s := fixed.Sum(vals[n.Args[0]])
+			for i := range out {
+				out[i] = s
+			}
+		case OpReduceMax:
+			m := fixed.MinNum
+			for _, v := range vals[n.Args[0]] {
+				m = fixed.Max(m, v)
+			}
+			for i := range out {
+				out[i] = m
+			}
+		default:
+			a, b := vals[n.Args[0]], vals[n.Args[1]]
+			for i := range out {
+				out[i] = evalBinary(n.Op, a[i], b[i])
+			}
+		}
+		vals[n.ID] = out
+	}
+
+	outs := make([][]fixed.Num, len(g.outputs))
+	for i, id := range g.outputs {
+		outs[i] = vals[id]
+	}
+	return outs, nil
+}
+
+func evalBinary(op Op, a, b fixed.Num) fixed.Num {
+	switch op {
+	case OpAdd:
+		return fixed.Add(a, b)
+	case OpSub:
+		return fixed.Sub(a, b)
+	case OpMul:
+		return fixed.Mul(a, b)
+	case OpDiv:
+		return fixed.Div(a, b)
+	case OpMin:
+		return fixed.Min(a, b)
+	case OpMax:
+		return fixed.Max(a, b)
+	case OpCmpLT:
+		if a < b {
+			return 1
+		}
+		return 0
+	case OpCmpEQ:
+		if a == b {
+			return 1
+		}
+		return 0
+	case OpAnd:
+		return a & b
+	case OpOr:
+		return a | b
+	case OpXor:
+		return a ^ b
+	}
+	panic(fmt.Sprintf("dfg: evalBinary on %s", op))
+}

@@ -1,0 +1,220 @@
+package dfg
+
+import (
+	"fmt"
+
+	"mlimp/internal/fixed"
+)
+
+// Optimize runs the compiler's machine-independent passes over a kernel
+// graph and returns a new, semantically equivalent graph: constant
+// folding (operations on broadcast constants evaluate at compile time),
+// common-subexpression elimination (structurally identical nodes merge),
+// algebraic simplification (x*1, x+0, x&x, ...), and dead-code
+// elimination (nodes not reachable from an output disappear). These are
+// the "compiler's lowering and legalization operations" the MLIMP
+// frontend applies before per-ISA code generation (Section III-A).
+func Optimize(g *Graph) (*Graph, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	// Folding can orphan constants and simplification can orphan whole
+	// subtrees, so run passes to a fixpoint (bounded: each pass strictly
+	// shrinks or the loop stops).
+	cur := g
+	for i := 0; i < 8; i++ {
+		next, err := optimizeOnce(cur)
+		if err != nil {
+			return nil, err
+		}
+		if len(next.nodes) >= len(cur.nodes) && i > 0 {
+			return cur, nil
+		}
+		if len(next.nodes) == len(cur.nodes) && i == 0 {
+			// First pass may still have rewired without shrinking; one
+			// more pass confirms the fixpoint.
+			cur = next
+			continue
+		}
+		if len(next.nodes) >= len(cur.nodes) {
+			return cur, nil
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+func optimizeOnce(g *Graph) (*Graph, error) {
+	out := NewGraph(g.Name)
+	remap := make([]NodeID, len(g.nodes)) // old id -> new id
+	// Value-numbering table for CSE: structural key -> new id.
+	seen := map[string]NodeID{}
+	// Compile-time constant values of new nodes (only for OpConst).
+	constVal := map[NodeID]fixed.Num{}
+
+	live := liveSet(g)
+	for _, n := range g.nodes {
+		if !live[n.ID] {
+			remap[n.ID] = -1
+			continue
+		}
+		args := make([]NodeID, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = remap[a]
+		}
+		// Constant folding: every argument is a known constant.
+		if folded, ok := foldConst(n, args, constVal); ok {
+			remap[n.ID] = emitConst(out, seen, constVal, folded)
+			continue
+		}
+		// Algebraic identities.
+		if id, ok := simplify(n, args, constVal); ok {
+			remap[n.ID] = id
+			continue
+		}
+		// CSE via structural value numbering.
+		key := nodeKey(n, args)
+		if id, ok := seen[key]; ok {
+			remap[n.ID] = id
+			continue
+		}
+		id := out.add(n.Op, n.Imm, n.Name, args...)
+		if n.Op == OpConst {
+			constVal[id] = n.Imm
+		}
+		seen[key] = id
+		remap[n.ID] = id
+	}
+	for _, o := range g.outputs {
+		out.Output(remap[o])
+	}
+	return out, nil
+}
+
+// liveSet marks nodes reachable from any output.
+func liveSet(g *Graph) []bool {
+	live := make([]bool, len(g.nodes))
+	var mark func(id NodeID)
+	mark = func(id NodeID) {
+		if live[id] {
+			return
+		}
+		live[id] = true
+		for _, a := range g.nodes[id].Args {
+			mark(a)
+		}
+	}
+	for _, o := range g.outputs {
+		mark(o)
+	}
+	return live
+}
+
+// nodeKey is the structural identity used for value numbering. Inputs
+// key on their name; constants on their value.
+func nodeKey(n Node, args []NodeID) string {
+	return fmt.Sprintf("%d|%d|%s|%v", n.Op, n.Imm, n.Name, args)
+}
+
+// emitConst adds (or reuses) a constant node in the output graph.
+func emitConst(out *Graph, seen map[string]NodeID, constVal map[NodeID]fixed.Num, v fixed.Num) NodeID {
+	key := nodeKey(Node{Op: OpConst, Imm: v}, nil)
+	if id, ok := seen[key]; ok {
+		return id
+	}
+	id := out.Const(v)
+	seen[key] = id
+	constVal[id] = v
+	return id
+}
+
+// foldConst evaluates n if every argument maps to a known constant.
+// Reductions fold too: reducing a broadcast constant of any width yields
+// an unknown lane count, so only ReduceMax (idempotent) folds.
+func foldConst(n Node, args []NodeID, constVal map[NodeID]fixed.Num) (fixed.Num, bool) {
+	switch n.Op {
+	case OpConst, OpInput, OpReduceAdd:
+		return 0, false
+	}
+	vals := make([]fixed.Num, len(args))
+	for i, a := range args {
+		v, ok := constVal[a]
+		if !ok {
+			return 0, false
+		}
+		vals[i] = v
+	}
+	switch n.Op {
+	case OpMov, OpReduceMax:
+		return vals[0], true
+	case OpNot:
+		return ^vals[0], true
+	case OpExp2:
+		return fixed.Exp2(vals[0]), true
+	case OpShl:
+		return vals[0] << uint(n.Imm), true
+	case OpShr:
+		return vals[0] >> uint(n.Imm), true
+	case OpSelect:
+		if vals[0] != 0 {
+			return vals[1], true
+		}
+		return vals[2], true
+	case OpDot:
+		var acc fixed.Num
+		for i := 0; i < len(vals); i += 2 {
+			acc = fixed.Add(acc, fixed.Mul(vals[i], vals[i+1]))
+		}
+		return acc, true
+	default:
+		return evalBinary(n.Op, vals[0], vals[1]), true
+	}
+}
+
+// simplify applies algebraic identities that replace the node with one
+// of its arguments. It returns (replacement, true) when one applies.
+func simplify(n Node, args []NodeID, constVal map[NodeID]fixed.Num) (NodeID, bool) {
+	isC := func(i int, want fixed.Num) bool {
+		v, ok := constVal[args[i]]
+		return ok && v == want
+	}
+	one := fixed.FromInt(1)
+	switch n.Op {
+	case OpMov:
+		return args[0], true // a copy of an SSA value is the value
+	case OpAdd:
+		if isC(0, 0) {
+			return args[1], true
+		}
+		if isC(1, 0) {
+			return args[0], true
+		}
+	case OpSub, OpShl, OpShr:
+		if n.Op == OpSub && isC(1, 0) {
+			return args[0], true
+		}
+		if n.Op != OpSub && n.Imm == 0 {
+			return args[0], true
+		}
+	case OpMul:
+		if isC(0, one) {
+			return args[1], true
+		}
+		if isC(1, one) {
+			return args[0], true
+		}
+	case OpDiv:
+		if isC(1, one) {
+			return args[0], true
+		}
+	case OpAnd, OpOr, OpMin, OpMax:
+		if args[0] == args[1] {
+			return args[0], true // idempotent on identical operands
+		}
+	case OpSelect:
+		if args[1] == args[2] {
+			return args[1], true // both branches identical
+		}
+	}
+	return 0, false
+}

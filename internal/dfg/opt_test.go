@@ -1,0 +1,182 @@
+package dfg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mlimp/internal/fixed"
+)
+
+func countOps(g *Graph) map[Op]int { return g.Mix() }
+
+func TestOptimizeConstantFolding(t *testing.T) {
+	g := NewGraph("fold")
+	a := g.ConstFloat(2)
+	b := g.ConstFloat(3)
+	x := g.Input("x")
+	g.Output(g.Add(g.Mul(a, b), x)) // 2*3 folds to 6
+	opt, err := Optimize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countOps(opt)[OpMul] != 0 {
+		t.Error("constant multiply should fold away")
+	}
+	out, err := opt.Run(map[string][]fixed.Num{"x": {fixed.FromInt(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0][0].Float() != 7 {
+		t.Errorf("folded result = %v, want 7", out[0][0].Float())
+	}
+}
+
+func TestOptimizeCSE(t *testing.T) {
+	g := NewGraph("cse")
+	x := g.Input("x")
+	y := g.Input("y")
+	p1 := g.Mul(x, y)
+	p2 := g.Mul(x, y) // identical subexpression
+	g.Output(g.Add(p1, p2))
+	opt, err := Optimize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countOps(opt)[OpMul] != 1 {
+		t.Errorf("CSE should merge duplicate multiplies, have %d", countOps(opt)[OpMul])
+	}
+}
+
+func TestOptimizeDCE(t *testing.T) {
+	g := NewGraph("dce")
+	x := g.Input("x")
+	g.Div(x, x) // never output: dead
+	g.Output(g.Add(x, x))
+	opt, err := Optimize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countOps(opt)[OpDiv] != 0 {
+		t.Error("dead divide should be eliminated")
+	}
+}
+
+func TestOptimizeAlgebraicIdentities(t *testing.T) {
+	g := NewGraph("alg")
+	x := g.Input("x")
+	zero := g.ConstFloat(0)
+	one := g.ConstFloat(1)
+	g.Output(g.Add(x, zero))       // x+0 -> x
+	g.Output(g.Mul(x, one))        // x*1 -> x
+	g.Output(g.Mov(x))             // mov x -> x
+	g.Output(g.And(x, x))          // x&x -> x
+	g.Output(g.Select(zero, x, x)) // both branches same -> x
+	opt, err := Optimize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := countOps(opt)
+	for _, op := range []Op{OpAdd, OpMul, OpMov, OpAnd, OpSelect} {
+		if mix[op] != 0 {
+			t.Errorf("%s should simplify away, mix=%v", op, mix)
+		}
+	}
+	// All five outputs alias the input.
+	out, err := opt.Run(map[string][]fixed.Num{"x": {fixed.FromInt(9)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if out[i][0].Float() != 9 {
+			t.Errorf("output %d = %v", i, out[i][0].Float())
+		}
+	}
+}
+
+func TestOptimizeRejectsInvalid(t *testing.T) {
+	g := NewGraph("bad")
+	g.Input("x")
+	if _, err := Optimize(g); err == nil {
+		t.Error("output-less graph should be rejected")
+	}
+}
+
+// Property: optimisation preserves semantics on random expression graphs
+// and never increases the node count.
+func TestOptimizePreservesSemanticsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGraph("rand")
+		x := g.Input("x")
+		y := g.Input("y")
+		ids := []NodeID{x, y, g.ConstFloat(0), g.ConstFloat(1), g.ConstFloat(2)}
+		for i := 0; i < 14; i++ {
+			a := ids[rng.Intn(len(ids))]
+			b := ids[rng.Intn(len(ids))]
+			var id NodeID
+			switch rng.Intn(8) {
+			case 0:
+				id = g.Add(a, b)
+			case 1:
+				id = g.Sub(a, b)
+			case 2:
+				id = g.Mul(a, b)
+			case 3:
+				id = g.Min(a, b)
+			case 4:
+				id = g.Max(a, b)
+			case 5:
+				id = g.Mov(a)
+			case 6:
+				id = g.Select(a, b, ids[rng.Intn(len(ids))])
+			case 7:
+				id = g.And(a, b)
+			}
+			ids = append(ids, id)
+		}
+		g.Output(ids[len(ids)-1])
+		g.Output(ids[len(ids)-2])
+		opt, err := Optimize(g)
+		if err != nil {
+			return false
+		}
+		if len(opt.Nodes()) > len(g.Nodes()) {
+			return false
+		}
+		in := map[string][]fixed.Num{
+			"x": {fixed.FromFloat(rng.Float64()*4 - 2), fixed.FromFloat(rng.Float64())},
+			"y": {fixed.FromFloat(rng.Float64()*4 - 2), fixed.FromFloat(-rng.Float64())},
+		}
+		want, err1 := g.Run(in)
+		got, err2 := opt.Run(in)
+		if err1 != nil || err2 != nil || len(want) != len(got) {
+			return false
+		}
+		for i := range want {
+			for l := range want[i] {
+				if want[i][l] != got[i][l] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Optimisation should shrink the real application kernels' compiled
+// cycle counts or leave them unchanged — never regress them.
+func TestOptimizeNeverRegressesNodeCount(t *testing.T) {
+	g := NewGraph("mixed")
+	x := g.Input("x")
+	two := g.ConstFloat(2)
+	three := g.ConstFloat(3)
+	g.Output(g.Add(g.Mul(two, three), g.Mul(x, g.Add(two, three))))
+	opt, _ := Optimize(g)
+	if len(opt.Nodes()) >= len(g.Nodes()) {
+		t.Errorf("no shrink: %d -> %d nodes", len(g.Nodes()), len(opt.Nodes()))
+	}
+}

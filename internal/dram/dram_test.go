@@ -1,0 +1,162 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mlimp/internal/fixed"
+)
+
+func boolRow(bits string) []bool {
+	out := make([]bool, len(bits))
+	for i, ch := range bits {
+		out[i] = ch == '1'
+	}
+	return out
+}
+
+func TestTRAIsMajority(t *testing.T) {
+	b := NewBank(64, 8)
+	b.WriteRow(0, boolRow("00001111"))
+	b.WriteRow(1, boolRow("00110011"))
+	b.WriteRow(2, boolRow("01010101"))
+	b.cloneToT(0, 0)
+	b.cloneToT(1, 1)
+	b.cloneToT(2, 2)
+	b.TRA()
+	b.cloneFromT(0, 3)
+	want := boolRow("00010111") // bitwise majority
+	got := b.ReadRow(3)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bit %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+	// All three compute rows hold the result after charge sharing.
+	b.cloneFromT(1, 4)
+	b.cloneFromT(2, 5)
+	for i := range want {
+		if b.ReadRow(4)[i] != want[i] || b.ReadRow(5)[i] != want[i] {
+			t.Error("TRA must overwrite all three rows")
+		}
+	}
+}
+
+func TestAndOrNotXor(t *testing.T) {
+	b := NewBank(64, 8)
+	x, y := boolRow("00001111"), boolRow("01010101")
+	b.WriteRow(0, x)
+	b.WriteRow(1, y)
+
+	b.And(2, 0, 1)
+	b.Or(3, 0, 1)
+	b.Not(4, 0)
+	b.Xor(5, 0, 1, 6, 7)
+	for i := range x {
+		if b.ReadRow(2)[i] != (x[i] && y[i]) {
+			t.Errorf("and bit %d", i)
+		}
+		if b.ReadRow(3)[i] != (x[i] || y[i]) {
+			t.Errorf("or bit %d", i)
+		}
+		if b.ReadRow(4)[i] != !x[i] {
+			t.Errorf("not bit %d", i)
+		}
+		if b.ReadRow(5)[i] != (x[i] != y[i]) {
+			t.Errorf("xor bit %d", i)
+		}
+	}
+	// Operands must survive (Ambit computes on copies).
+	for i := range x {
+		if b.ReadRow(0)[i] != x[i] || b.ReadRow(1)[i] != y[i] {
+			t.Error("operand rows were clobbered")
+		}
+	}
+}
+
+func TestAndCostsFiveActivations(t *testing.T) {
+	b := NewBank(64, 8)
+	b.ResetActivations()
+	b.And(2, 0, 1)
+	if got := b.Activations(); got != 5 {
+		t.Errorf("AND activations = %d, want 5 (the Table III 5x factor)", got)
+	}
+}
+
+func TestStoreLoadVector(t *testing.T) {
+	b := NewBank(128, 32)
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]fixed.Num, 32)
+	for i := range vals {
+		vals[i] = fixed.Num(rng.Intn(1<<16) - (1 << 15))
+	}
+	b.StoreVector(10, vals)
+	got := b.LoadVector(10, 32)
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("lane %d: %d != %d", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestAddVectors(t *testing.T) {
+	b := NewBank(128, 4)
+	x := []fixed.Num{fixed.FromInt(1), fixed.FromInt(-5), fixed.FromFloat(2.5), 12345}
+	y := []fixed.Num{fixed.FromInt(2), fixed.FromInt(3), fixed.FromFloat(-1.25), -12345}
+	got, cost := b.AddVectors(x, y)
+	for i := range x {
+		// Raw Ambit addition wraps; within range it matches fixed.Add.
+		want := fixed.Num(int16(x[i]) + int16(y[i]))
+		if got[i] != want {
+			t.Errorf("lane %d: got %d want %d", i, got[i], want)
+		}
+	}
+	// Each bit costs two TRA-built XORs plus the carry majority; the
+	// naive construction spends ~39 activations/bit (the optimised
+	// Ambit FSM that Table III's 5x factor assumes fuses these
+	// sequences, which the static cost model in internal/isa reflects).
+	if cost < 16*5 || cost > 16*45 {
+		t.Errorf("16-bit add cost %d activations, outside plausible range", cost)
+	}
+}
+
+func TestRowCloneAndBounds(t *testing.T) {
+	b := NewBank(16, 4)
+	b.WriteRow(0, boolRow("1010"))
+	b.RowClone(5, 0)
+	if got := b.ReadRow(5); !got[0] || got[1] {
+		t.Error("RowClone wrong")
+	}
+	for _, f := range []func(){
+		func() { b.ReadRow(99) },
+		func() { NewBank(0, 4) },
+		func() { b.StoreVector(0, make([]fixed.Num, 100)) },
+		func() { b.LoadVector(0, 100) },
+		func() { b.AddVectors([]fixed.Num{1}, []fixed.Num{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: the TRA/NOT ripple-carry adder matches two's-complement
+// 16-bit addition for arbitrary operands.
+func TestAmbitAdderProperty(t *testing.T) {
+	b := NewBank(128, 2)
+	f := func(x1, y1, x2, y2 int16) bool {
+		xs := []fixed.Num{fixed.Num(x1), fixed.Num(x2)}
+		ys := []fixed.Num{fixed.Num(y1), fixed.Num(y2)}
+		got, _ := b.AddVectors(xs, ys)
+		return got[0] == fixed.Num(x1+y1) && got[1] == fixed.Num(x2+y2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

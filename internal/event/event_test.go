@@ -1,0 +1,177 @@
+package event
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestClock(t *testing.T) {
+	c := NewClock(2500) // 2.5 GHz
+	if got := c.Period(); got != 400*Picosecond {
+		t.Errorf("2.5GHz period = %v ps, want 400", got)
+	}
+	if got := c.Cycles(10); got != 4000*Picosecond {
+		t.Errorf("10 cycles = %v, want 4000", got)
+	}
+	if got := c.CyclesAt(401 * Picosecond); got != 2 {
+		t.Errorf("CyclesAt(401ps) = %v, want 2 (round up)", got)
+	}
+	if got := NewClock(20).Period(); got != 50*Nanosecond {
+		t.Errorf("20MHz period = %v, want 50ns", got)
+	}
+}
+
+func TestClockPanicsOnZeroFreq(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewClock(0)
+}
+
+func TestTimeConversions(t *testing.T) {
+	if got := (2 * Millisecond).Millis(); got != 2 {
+		t.Errorf("Millis = %v", got)
+	}
+	if got := (1500 * Nanosecond).Micros(); got != 1.5 {
+		t.Errorf("Micros = %v", got)
+	}
+	if got := Second.Seconds(); got != 1 {
+		t.Errorf("Seconds = %v", got)
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	var e Engine
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	end := e.Run()
+	if end != 30 {
+		t.Errorf("final time = %v", end)
+	}
+	for i, v := range order {
+		if v != i+1 {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if e.Fired() != 3 {
+		t.Errorf("Fired = %d", e.Fired())
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	var e Engine
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	if !sort.IntsAreSorted(order) {
+		t.Errorf("same-time events not FIFO: %v", order)
+	}
+}
+
+func TestEngineCascade(t *testing.T) {
+	var e Engine
+	hits := 0
+	var tick func()
+	tick = func() {
+		hits++
+		if hits < 5 {
+			e.After(100, tick)
+		}
+	}
+	e.After(100, tick)
+	end := e.Run()
+	if hits != 5 || end != 500 {
+		t.Errorf("hits=%d end=%v", hits, end)
+	}
+}
+
+func TestEnginePanicsOnPast(t *testing.T) {
+	var e Engine
+	e.At(100, func() {})
+	e.Step()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic scheduling in the past")
+		}
+	}()
+	e.At(50, func() {})
+}
+
+func TestEnginePanicsOnNegativeDelay(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	var e Engine
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(25)
+	if len(fired) != 2 || e.Now() != 25 {
+		t.Errorf("fired=%v now=%v", fired, e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Errorf("pending=%d", e.Pending())
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Errorf("after Run fired=%v", fired)
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	var e Engine
+	e.RunUntil(1000)
+	if e.Now() != 1000 {
+		t.Errorf("Now = %v, want 1000", e.Now())
+	}
+}
+
+// Property: for any set of delays, events fire in nondecreasing time
+// order and the engine terminates at the max timestamp.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var e Engine
+		n := 1 + rng.Intn(50)
+		var maxT Time
+		var fired []Time
+		for i := 0; i < n; i++ {
+			at := Time(rng.Int63n(10000))
+			if at > maxT {
+				maxT = at
+			}
+			e.At(at, func() { fired = append(fired, e.Now()) })
+		}
+		end := e.Run()
+		if end != maxT || len(fired) != n {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mlimp/internal/apps"
+	"mlimp/internal/dfg"
+	"mlimp/internal/graph"
+	"mlimp/internal/isa"
+	memory "mlimp/internal/mem"
+	"mlimp/internal/stats"
+	"mlimp/internal/workload"
+)
+
+func init() {
+	register("fig01", "Energy, latency, and parallelism characteristics of memory technologies", fig01)
+	register("fig05", "Node distribution of k-hop subgraphs (ogbl-citation2 stand-in)", fig05)
+	register("tab1", "Dataset details", tab1)
+	register("tab2", "Data parallel applications and combinations", tab2)
+	register("tab3", "MLIMP configurations", tab3)
+}
+
+// fig01 regenerates the Figure 1 technology landscape.
+func fig01() *Result {
+	t := &table{header: []string{"technology", "pJ/bit", "latency(ns)", "cell(F^2)", "parallelism(vs DRAM)"}}
+	for _, tech := range memory.Technologies() {
+		t.add(tech.Name, f3(tech.EnergyPJPerBit), fmt.Sprintf("%.1f", tech.LatencyNs),
+			fmt.Sprintf("%.0f", tech.CellSizeF2), f2(tech.Parallelism()))
+	}
+	return &Result{ID: "fig01", Title: "memory technology characteristics", Text: t.String()}
+}
+
+// fig05 regenerates the subgraph size distribution histogram.
+func fig05() *Result {
+	rng := rand.New(rand.NewSource(5))
+	d, _ := graph.DatasetByName("ogbl-citation2")
+	g := d.Generate(rng)
+	s := graph.NewSampler(rng, g, 2, 0)
+	var sizes []float64
+	h := stats.NewHistogram(0, 5000, 25)
+	for i := 0; i < 640; i++ { // 10 batches x 64 queries
+		n := float64(s.Sample(rng.Intn(g.N)).NumNodes())
+		sizes = append(sizes, n)
+		h.Add(n)
+	}
+	box := stats.BoxStats(sizes)
+	text := fmt.Sprintf("subgraph node counts over 640 sampled queries\n%s\n%s",
+		box.String(), h.Render(50))
+	return &Result{ID: "fig05", Title: "subgraph size distribution", Text: text}
+}
+
+// tab1 regenerates Table I.
+func tab1() *Result {
+	t := &table{header: []string{"dataset", "#vertex", "feat", "#edges", "raw", "min.mem", "synth-V", "synth-E"}}
+	for _, d := range graph.Datasets {
+		t.add(d.Name, fmt.Sprint(d.Vertices), fmt.Sprintf("%d/%d", d.InputFeat, d.HiddenFeat),
+			fmt.Sprint(d.Edges), d.RawSize, d.MinMemory,
+			fmt.Sprint(d.SynthVertices()), fmt.Sprint(d.SynthEdges()))
+	}
+	return &Result{ID: "tab1", Title: "dataset details", Text: t.String()}
+}
+
+// tab2 regenerates Table II with the measured per-memory preference.
+func tab2() *Result {
+	sys := newFullSystem()
+	t := &table{header: []string{"application", "domain", "elements", "loops", "prefers", "combos"}}
+	for _, a := range apps.Suite() {
+		var combos []byte
+		for _, name := range workload.ComboNames() {
+			for _, an := range workload.Combos[name] {
+				if an == a.Name {
+					combos = append(combos, name[0])
+				}
+			}
+		}
+		t.add(a.Name, a.Domain, fmt.Sprint(a.Elements), fmt.Sprint(a.LoopCount),
+			workload.PreferredTarget(sys, a).String(), string(combos))
+	}
+	return &Result{ID: "tab2", Title: "data parallel applications", Text: t.String()}
+}
+
+// tab3 regenerates Table III including the MAC throughput columns.
+func tab3() *Result {
+	t := &table{header: []string{"memory", "array", "#arrays", "MB/mm2", "MHz", "ALUs", "cyc/MAC", "MOPS(2ops)", "MOPS(4ops)"}}
+	for _, tgt := range isa.Targets {
+		cfg := memory.ConfigFor(tgt)
+		m := isa.Models(tgt)
+		c1 := m.OpCycles(dfg.OpMul, 1)
+		c4 := m.OpCycles(dfg.OpDot, 4)
+		t.add(tgt.String(),
+			fmt.Sprintf("%dx%dx%db", cfg.ArrayRows, cfg.ArrayCols, cfg.BitsPerCell),
+			fmt.Sprint(cfg.NumArrays), fmt.Sprintf("%.1f", cfg.MBPerMM2),
+			fmt.Sprintf("%.0f", cfg.FreqMHz), fmt.Sprint(cfg.TotalALUs()),
+			fmt.Sprint(c1),
+			f3(cfg.FreqMHz/float64(c1)),
+			f3(cfg.FreqMHz/float64(c4)))
+	}
+	return &Result{ID: "tab3", Title: "MLIMP configurations", Text: t.String()}
+}

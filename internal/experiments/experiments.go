@@ -1,0 +1,145 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section V) plus the ablations DESIGN.md calls out. Each
+// experiment is a deterministic function returning a text artefact; the
+// bench harness (bench_test.go) and cmd/mlimp-bench both drive this
+// registry, and EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"mlimp/internal/gnn"
+	"mlimp/internal/graph"
+	"mlimp/internal/isa"
+	"mlimp/internal/predict"
+	"mlimp/internal/sched"
+	"mlimp/internal/tensor"
+)
+
+// newFullSystem returns a fresh three-layer MLIMP system.
+func newFullSystem() *sched.System { return sched.NewSystem(isa.Targets...) }
+
+// Result is one reproduced experiment artefact.
+type Result struct {
+	ID    string // e.g. "fig11"
+	Title string
+	Text  string // the regenerated rows/series
+}
+
+// String renders the artefact with a header.
+func (r *Result) String() string {
+	return fmt.Sprintf("=== %s: %s ===\n%s", r.ID, r.Title, r.Text)
+}
+
+// Experiment is a runnable reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() *Result
+}
+
+// registry of all experiments, in presentation order.
+var registry []Experiment
+
+func register(id, title string, run func() *Result) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// All returns every experiment in order.
+func All() []Experiment { return registry }
+
+// ByID returns one experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// --- shared workload construction (deterministic seeds) ---
+
+// evalBatches/evalBatchSize size the GNN studies: 2 batches of 16
+// queries per dataset (the paper uses 10 batches of 64 on the full-size
+// datasets; the stand-ins are 100x smaller, see DESIGN.md).
+const (
+	evalBatches   = 2
+	evalBatchSize = 16
+)
+
+// buildWorkload constructs the deterministic GNN workload for a dataset.
+func buildWorkload(name string, seed int64) *gnn.Workload {
+	d, ok := graph.DatasetByName(name)
+	if !ok {
+		panic("experiments: unknown dataset " + name)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := gnn.NewGCN(rng, d.InputFeat, d.HiddenFeat, 3)
+	return gnn.BuildWorkload(rng, d, m, evalBatches, evalBatchSize)
+}
+
+// trainedPredictor trains the MLP predictor on subgraphs sampled from
+// the same mother graph (Section III-E's per-mother-graph training).
+func trainedPredictor(w *gnn.Workload, seed int64, f int) *predict.MLP {
+	rng := rand.New(rand.NewSource(seed))
+	s := graph.NewSampler(rng, w.Graph, 2, 0)
+	var training []*tensor.CSR
+	for i := 0; i < 96; i++ {
+		training = append(training, s.Sample(rng.Intn(w.Graph.N)).Adj)
+	}
+	return predict.Train(rng, training, f, predict.DefaultTrainConfig())
+}
+
+// table is a tiny fixed-width text table builder.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.header)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return sb.String()
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// sortedKeys returns map keys in sorted order for stable output.
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

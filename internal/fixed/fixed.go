@@ -1,0 +1,194 @@
+// Package fixed implements 16-bit fixed-point arithmetic.
+//
+// The paper trains GNN features and weights for 16-bit fixed-point
+// precision (Section IV, "Benchmarks"); every in-memory device in MLIMP
+// computes on integers, so the functional models of the SRAM/DRAM/ReRAM
+// substrates and the GNN kernels all operate on this representation.
+//
+// A Num is a signed 16-bit quantity interpreted as a Q(16-F).F value for a
+// format-wide fraction width F. Operations saturate instead of wrapping:
+// saturation is what the bit-serial peripherals of Neural Cache implement,
+// and it keeps quantisation error bounded for the GNN workloads.
+package fixed
+
+import "math"
+
+// FracBits is the default fraction width of the Q format (Q8.8). Eight
+// fractional bits keep GCN accuracy degradation under 1% on the synthetic
+// workloads, mirroring the paper's <1% quantisation loss.
+const FracBits = 8
+
+// Num is a 16-bit fixed-point number in the package-default Q format.
+type Num int16
+
+const (
+	// MaxNum is the largest representable Num.
+	MaxNum Num = math.MaxInt16
+	// MinNum is the smallest representable Num.
+	MinNum Num = math.MinInt16
+
+	one = 1 << FracBits
+)
+
+// FromFloat converts a float64 to fixed point with round-to-nearest and
+// saturation.
+func FromFloat(f float64) Num {
+	scaled := math.Round(f * one)
+	switch {
+	case scaled > float64(MaxNum):
+		return MaxNum
+	case scaled < float64(MinNum):
+		return MinNum
+	}
+	return Num(scaled)
+}
+
+// FromInt converts an integer to fixed point with saturation.
+func FromInt(i int) Num {
+	return sat(int32(i) << FracBits)
+}
+
+// Float converts a Num back to float64.
+func (n Num) Float() float64 { return float64(n) / one }
+
+// Int truncates a Num toward zero and returns the integer part.
+func (n Num) Int() int {
+	if n < 0 {
+		return -int(-int32(n) >> FracBits)
+	}
+	return int(int32(n) >> FracBits)
+}
+
+func sat(v int32) Num {
+	switch {
+	case v > int32(MaxNum):
+		return MaxNum
+	case v < int32(MinNum):
+		return MinNum
+	}
+	return Num(v)
+}
+
+// Add returns a+b with saturation.
+func Add(a, b Num) Num { return sat(int32(a) + int32(b)) }
+
+// Sub returns a-b with saturation.
+func Sub(a, b Num) Num { return sat(int32(a) - int32(b)) }
+
+// Mul returns a*b with saturation. The 32-bit product is rescaled by the
+// fraction width with round-to-nearest-even-free simple rounding, matching
+// the shift-and-add peripheral of the in-memory multipliers.
+func Mul(a, b Num) Num {
+	p := int32(a) * int32(b)
+	// Arithmetic right shift floors, so adding half the scale first gives
+	// round-to-nearest (half toward +inf) for both signs.
+	return sat((p + one/2) >> FracBits)
+}
+
+// Div returns a/b with saturation. Division by zero saturates to the
+// extreme of a's sign, which is the behaviour of the compiler-lowered
+// iterative divider used by IMP.
+func Div(a, b Num) Num {
+	if b == 0 {
+		if a >= 0 {
+			return MaxNum
+		}
+		return MinNum
+	}
+	p := (int64(a) << FracBits) / int64(b)
+	switch {
+	case p > int64(MaxNum):
+		return MaxNum
+	case p < int64(MinNum):
+		return MinNum
+	}
+	return Num(p)
+}
+
+// Neg returns -a with saturation (MinNum negates to MaxNum).
+func Neg(a Num) Num { return sat(-int32(a)) }
+
+// Abs returns |a| with saturation.
+func Abs(a Num) Num {
+	if a < 0 {
+		return Neg(a)
+	}
+	return a
+}
+
+// Min returns the smaller of a and b.
+func Min(a, b Num) Num {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of a and b.
+func Max(a, b Num) Num {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Cmp returns -1, 0, or +1 as a is less than, equal to, or greater than b.
+func Cmp(a, b Num) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// ReLU returns max(a, 0), the activation used between GCN layers.
+func ReLU(a Num) Num {
+	if a < 0 {
+		return 0
+	}
+	return a
+}
+
+// Exp2 returns 2^a. It is one of the "simple transcendental functions"
+// the common programming interface supports (Section III-B1); devices
+// realise it with a small LUT plus one multiply, which this matches: the
+// integer part selects a power of two and the fractional part indexes a
+// 32-entry polynomial-free table.
+func Exp2(a Num) Num {
+	f := math.Exp2(quantExp2Arg(a))
+	return FromFloat(f)
+}
+
+// quantExp2Arg quantises the Exp2 argument to the 32-entry LUT resolution
+// so that the functional model matches what the in-memory LUT produces.
+func quantExp2Arg(a Num) float64 {
+	const lutBits = 5 // 32-entry fractional LUT
+	step := one >> lutBits
+	q := (int32(a) / int32(step)) * int32(step)
+	return float64(q) / one
+}
+
+// Sum returns the saturating sum of a slice.
+func Sum(xs []Num) Num {
+	var acc Num
+	for _, x := range xs {
+		acc = Add(acc, x)
+	}
+	return acc
+}
+
+// Dot returns the saturating dot product of two equal-length slices.
+// It panics if the lengths differ, as a mapping bug in a kernel would
+// otherwise silently corrupt results.
+func Dot(a, b []Num) Num {
+	if len(a) != len(b) {
+		panic("fixed: Dot length mismatch")
+	}
+	var acc Num
+	for i := range a {
+		acc = Add(acc, Mul(a[i], b[i]))
+	}
+	return acc
+}

@@ -1,0 +1,208 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromFloatRoundTrip(t *testing.T) {
+	cases := []float64{0, 1, -1, 0.5, -0.5, 3.25, -7.125, 127.996, -128}
+	for _, f := range cases {
+		n := FromFloat(f)
+		if got := n.Float(); math.Abs(got-f) > 1.0/one {
+			t.Errorf("FromFloat(%v).Float() = %v, want within 1 ulp", f, got)
+		}
+	}
+}
+
+func TestFromFloatSaturates(t *testing.T) {
+	if got := FromFloat(1e9); got != MaxNum {
+		t.Errorf("FromFloat(1e9) = %d, want MaxNum", got)
+	}
+	if got := FromFloat(-1e9); got != MinNum {
+		t.Errorf("FromFloat(-1e9) = %d, want MinNum", got)
+	}
+}
+
+func TestFromIntAndInt(t *testing.T) {
+	for _, i := range []int{0, 1, -1, 5, -42, 127, -128} {
+		n := FromInt(i)
+		if got := n.Int(); got != i {
+			t.Errorf("FromInt(%d).Int() = %d", i, got)
+		}
+	}
+	if FromInt(1<<20) != MaxNum {
+		t.Error("FromInt should saturate large positives")
+	}
+	if FromInt(-(1 << 20)) != MinNum {
+		t.Error("FromInt should saturate large negatives")
+	}
+}
+
+func TestIntTruncatesTowardZero(t *testing.T) {
+	if got := FromFloat(2.75).Int(); got != 2 {
+		t.Errorf("Int(2.75) = %d, want 2", got)
+	}
+	if got := FromFloat(-2.75).Int(); got != -2 {
+		t.Errorf("Int(-2.75) = %d, want -2", got)
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	a, b := FromFloat(1.5), FromFloat(2.25)
+	if got := Add(a, b).Float(); got != 3.75 {
+		t.Errorf("1.5+2.25 = %v", got)
+	}
+	if got := Sub(a, b).Float(); got != -0.75 {
+		t.Errorf("1.5-2.25 = %v", got)
+	}
+	if Add(MaxNum, 1) != MaxNum {
+		t.Error("Add should saturate high")
+	}
+	if Sub(MinNum, 1) != MinNum {
+		t.Error("Sub should saturate low")
+	}
+}
+
+func TestMul(t *testing.T) {
+	if got := Mul(FromFloat(1.5), FromFloat(2)).Float(); got != 3 {
+		t.Errorf("1.5*2 = %v", got)
+	}
+	if got := Mul(FromFloat(-0.5), FromFloat(0.5)).Float(); got != -0.25 {
+		t.Errorf("-0.5*0.5 = %v", got)
+	}
+	if Mul(MaxNum, MaxNum) != MaxNum {
+		t.Error("Mul should saturate")
+	}
+	if Mul(MinNum, MaxNum) != MinNum {
+		t.Error("Mul should saturate negative")
+	}
+}
+
+func TestDiv(t *testing.T) {
+	if got := Div(FromFloat(3), FromFloat(2)).Float(); got != 1.5 {
+		t.Errorf("3/2 = %v", got)
+	}
+	if Div(FromFloat(1), 0) != MaxNum {
+		t.Error("1/0 should saturate to MaxNum")
+	}
+	if Div(FromFloat(-1), 0) != MinNum {
+		t.Error("-1/0 should saturate to MinNum")
+	}
+	if Div(FromFloat(100), FromFloat(0.001)) != MaxNum {
+		t.Error("overflowing quotient should saturate")
+	}
+}
+
+func TestNegAbs(t *testing.T) {
+	if Neg(MinNum) != MaxNum {
+		t.Error("Neg(MinNum) should saturate to MaxNum")
+	}
+	if Abs(FromFloat(-3)).Float() != 3 {
+		t.Error("Abs(-3) != 3")
+	}
+	if Abs(MinNum) != MaxNum {
+		t.Error("Abs(MinNum) should saturate")
+	}
+}
+
+func TestMinMaxCmp(t *testing.T) {
+	a, b := FromFloat(-1), FromFloat(2)
+	if Min(a, b) != a || Max(a, b) != b {
+		t.Error("Min/Max wrong")
+	}
+	if Cmp(a, b) != -1 || Cmp(b, a) != 1 || Cmp(a, a) != 0 {
+		t.Error("Cmp wrong")
+	}
+}
+
+func TestReLU(t *testing.T) {
+	if ReLU(FromFloat(-3)) != 0 {
+		t.Error("ReLU(-3) != 0")
+	}
+	if got := ReLU(FromFloat(3)); got != FromFloat(3) {
+		t.Errorf("ReLU(3) = %v", got)
+	}
+}
+
+func TestExp2(t *testing.T) {
+	for _, f := range []float64{0, 1, 2, 3, -1, -2, 0.5} {
+		got := Exp2(FromFloat(f)).Float()
+		want := math.Exp2(f)
+		// The 32-entry LUT quantisation allows a few percent of error.
+		if math.Abs(got-want) > 0.05*want+1.0/one {
+			t.Errorf("Exp2(%v) = %v, want ~%v", f, got, want)
+		}
+	}
+}
+
+func TestSumDot(t *testing.T) {
+	xs := []Num{FromFloat(1), FromFloat(2), FromFloat(3)}
+	if Sum(xs).Float() != 6 {
+		t.Error("Sum wrong")
+	}
+	if got := Dot(xs, xs).Float(); got != 14 {
+		t.Errorf("Dot = %v, want 14", got)
+	}
+}
+
+func TestDotPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Dot should panic on length mismatch")
+		}
+	}()
+	Dot([]Num{1}, []Num{1, 2})
+}
+
+// Property: Add is commutative and Mul is commutative for all inputs.
+func TestCommutativityProperty(t *testing.T) {
+	f := func(a, b int16) bool {
+		x, y := Num(a), Num(b)
+		return Add(x, y) == Add(y, x) && Mul(x, y) == Mul(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: results never exceed the representable range and arithmetic
+// matches float arithmetic within quantisation error when no saturation
+// occurs.
+func TestArithmeticMatchesFloatProperty(t *testing.T) {
+	f := func(a, b int16) bool {
+		x, y := Num(a), Num(b)
+		sum := float64(a) + float64(b)
+		if sum >= float64(MinNum) && sum <= float64(MaxNum) {
+			if Add(x, y) != Num(sum) {
+				return false
+			}
+		}
+		prod := x.Float() * y.Float()
+		got := Mul(x, y).Float()
+		if prod >= MinNum.Float() && prod <= MaxNum.Float() {
+			if math.Abs(got-prod) > 1.0/one {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Neg is an involution except at MinNum.
+func TestNegInvolutionProperty(t *testing.T) {
+	f := func(a int16) bool {
+		x := Num(a)
+		if x == MinNum {
+			return Neg(Neg(x)) == MaxNum
+		}
+		return Neg(Neg(x)) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

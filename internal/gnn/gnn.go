@@ -1,0 +1,304 @@
+// Package gnn implements the GNN case study of Section IV: a
+// Graph Convolutional Network whose per-layer aggregation (SpMM) and
+// combination (GEMM) kernels over sampled subgraphs become MLIMP jobs.
+// It provides both a functional reference inference path (fixed-point
+// tensors end to end) and the job generator that feeds the scheduler.
+package gnn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mlimp/internal/event"
+	"mlimp/internal/fixed"
+	"mlimp/internal/graph"
+	"mlimp/internal/isa"
+	"mlimp/internal/kernels"
+	"mlimp/internal/predict"
+	"mlimp/internal/sched"
+	"mlimp/internal/tensor"
+)
+
+// LayerSpec is one GCN layer's shape.
+type LayerSpec struct {
+	In, Out int
+}
+
+// Model is a GCN: per layer, H' = ReLU(Â H W + b).
+type Model struct {
+	Layers  []LayerSpec
+	Weights []*tensor.Dense // [layer] In x Out
+	Biases  []*tensor.Dense // [layer] 1 x Out
+}
+
+// NewGCN builds a GCN with the paper's structure: three layers from
+// inFeat through hidden (Table I: hidden = 256), randomly initialised
+// 16-bit fixed-point weights.
+func NewGCN(rng *rand.Rand, inFeat, hidden, layers int) *Model {
+	if layers < 1 || inFeat < 1 || hidden < 1 {
+		panic("gnn: bad model shape")
+	}
+	m := &Model{}
+	in := inFeat
+	for l := 0; l < layers; l++ {
+		spec := LayerSpec{In: in, Out: hidden}
+		m.Layers = append(m.Layers, spec)
+		scale := 1.0 / float64(spec.In)
+		m.Weights = append(m.Weights, tensor.RandomDense(rng, spec.In, spec.Out, scale*8))
+		m.Biases = append(m.Biases, tensor.RandomDense(rng, 1, spec.Out, 0.05))
+		in = hidden
+	}
+	return m
+}
+
+// Infer runs reference fixed-point inference on one subgraph: the
+// functional ground truth for the in-memory execution. feats is the
+// NumNodes x In input feature matrix.
+func (m *Model) Infer(sg *graph.Subgraph, feats *tensor.Dense) *tensor.Dense {
+	if feats.Rows != sg.NumNodes() || feats.Cols != m.Layers[0].In {
+		panic(fmt.Sprintf("gnn: feature shape %dx%d does not match subgraph(%d)/model(%d)",
+			feats.Rows, feats.Cols, sg.NumNodes(), m.Layers[0].In))
+	}
+	h := feats
+	for l, spec := range m.Layers {
+		agg := tensor.SpMM(sg.Adj, h)          // aggregation
+		comb := tensor.GEMM(agg, m.Weights[l]) // combination
+		for r := 0; r < comb.Rows; r++ {       // bias Vadd
+			row := comb.Row(r)
+			brow := m.Biases[l].Row(0)
+			for c := range row {
+				row[c] = fixed.Add(row[c], brow[c])
+			}
+		}
+		if l < len(m.Layers)-1 {
+			comb.ReLU()
+		}
+		h = comb
+		_ = spec
+	}
+	return h
+}
+
+// Workload is a batched GNN inference task over one dataset stand-in.
+type Workload struct {
+	Dataset graph.Dataset
+	Model   *Model
+	Graph   *graph.Graph
+	Batches [][]*graph.Subgraph
+}
+
+// BuildWorkload samples `batches` batches of `batchSize` query subgraphs
+// from the dataset's synthetic mother graph (2-hop neighbourhoods; see
+// DESIGN.md). Datasets flagged Concat merge each batch into one
+// concatenated subgraph (Section IV).
+func BuildWorkload(rng *rand.Rand, d graph.Dataset, m *Model, batches, batchSize int) *Workload {
+	g := d.Generate(rng)
+	s := graph.NewSampler(rng, g, 2, 0)
+	w := &Workload{Dataset: d, Model: m, Graph: g}
+	for b := 0; b < batches; b++ {
+		queries := make([]int, batchSize)
+		for i := range queries {
+			queries[i] = rng.Intn(g.N)
+		}
+		batch := s.SampleBatch(queries)
+		if d.Concat {
+			batch = []*graph.Subgraph{s.Concat(batch)}
+		}
+		w.Batches = append(w.Batches, batch)
+	}
+	return w
+}
+
+// Subgraphs returns all subgraphs across batches.
+func (w *Workload) Subgraphs() []*graph.Subgraph {
+	var out []*graph.Subgraph
+	for _, b := range w.Batches {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// HostDispatch is the allocation-independent host cost per job launch:
+// scheduler bookkeeping, predictor inference, and firmware kick-off
+// (the paper measures the pre-execution cost at under 2% of an SpMM
+// kernel, Section V-B2).
+const HostDispatch = event.Microsecond
+
+// fitBeta fits the scale-free exponent of the true SpMM scaling curve
+// for one subgraph on one target by log-log regression over a few
+// replica counts — the paper's "empirically modeled" shape parameter
+// (Section III-C3), fitted once per mother graph and memory rather than
+// assumed.
+func fitBeta(adj *tensor.CSR, f int, t isa.Target) float64 {
+	cfg := mem(t)
+	unit := kernels.SpMMUnit(cfg, adj, f, true)
+	if unit.RepUnit < 1 || unit.Cycles <= 0 {
+		return sched.DefaultBeta
+	}
+	var sx, sy, sxx, sxy float64
+	n := 0
+	for r := 1; r <= 16; r *= 2 {
+		e := kernels.SpMM(cfg, adj, f, unit.RepUnit*r, true)
+		x := math.Log(float64(r))
+		y := math.Log(float64(e.Cycles)*float64(e.Iterations) + 1)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		n++
+	}
+	den := float64(n)*sxx - sx*sx
+	if den == 0 {
+		return sched.DefaultBeta
+	}
+	beta := -(float64(n)*sxy - sx*sy) / den
+	switch {
+	case beta < 0.1:
+		return 0.1
+	case beta > 1:
+		return 1
+	}
+	return beta
+}
+
+// spmmProfile builds a scheduler profile for one aggregation SpMM from a
+// cycle source (predictor or oracle). beta comes from the per-mother-
+// graph fit.
+func spmmProfile(adj *tensor.CSR, f int, t isa.Target, unitCycles int64, beta float64) sched.Profile {
+	est := kernels.SpMMUnit(mem(t), adj, f, true)
+	return sched.Profile{
+		UnitCycles: unitCycles,
+		RepUnit:    est.RepUnit,
+		LoadBytes:  sched.EffectiveLoadBytes(t, est.LoadBytes),
+		StoreBytes: sched.EffectiveLoadBytes(t, est.StoreBytes),
+		Beta:       beta,
+		Overhead:   HostDispatch,
+		// Replication cannot exceed one replica per input row.
+		MaxUseful: est.RepUnit * adj.Rows,
+	}
+}
+
+// trueSpMMTime is the simulator's ground truth for an SpMM job.
+func trueSpMMTime(sys *sched.System, adj *tensor.CSR, f int, t isa.Target, arrays int) event.Time {
+	cfg := mem(t)
+	est := kernels.SpMM(cfg, adj, f, arrays, true)
+	cycles := est.Cycles * int64(est.Iterations)
+	return HostDispatch + cfg.Clock().Cycles(cycles) +
+		sys.DDR.StreamTime(sched.EffectiveLoadBytes(t, est.LoadBytes)) +
+		sys.DDR.StreamTime(sched.EffectiveLoadBytes(t, est.StoreBytes))
+}
+
+// SpMMJobs generates one aggregation job per subgraph per GCN layer,
+// with estimates from the given predictor and ground truth from the
+// kernel cost model — the job stream of the Figure 15 scheduler study.
+func (w *Workload) SpMMJobs(p predict.Predictor, sys *sched.System) []*sched.Job {
+	var jobs []*sched.Job
+	// Fit the scale-model exponent once per (target, layer-width) on a
+	// representative subgraph of this mother graph.
+	betas := map[isa.Target]map[int]float64{}
+	sample := w.Subgraphs()[0]
+	for _, t := range sys.Targets() {
+		betas[t] = map[int]float64{}
+		for _, spec := range w.Model.Layers {
+			if _, ok := betas[t][spec.In]; !ok {
+				betas[t][spec.In] = fitBeta(sample.Adj, spec.In, t)
+			}
+		}
+	}
+	id := 0
+	for _, sg := range w.Subgraphs() {
+		adj := sg.Adj
+		for l, spec := range w.Model.Layers {
+			f := spec.In
+			est := map[isa.Target]sched.Profile{}
+			for _, t := range sys.Targets() {
+				est[t] = spmmProfile(adj, f, t, p.UnitCycles(adj, f, t), betas[t][f])
+			}
+			j := &sched.Job{
+				ID:   id,
+				Name: fmt.Sprintf("spmm-q%d-l%d", sg.Query, l),
+				Kind: "spmm",
+				Est:  est,
+			}
+			j.TrueTime = func(sys *sched.System, t isa.Target, arrays int) event.Time {
+				return trueSpMMTime(sys, adj, f, t, arrays)
+			}
+			jobs = append(jobs, j)
+			id++
+		}
+	}
+	return jobs
+}
+
+// AllJobs generates the full kernel job stream — SpMM, GEMM, and Vadd
+// per subgraph per layer. GEMM and Vadd costs are deterministic static
+// analysis (Section III-E), so their estimates are exact.
+func (w *Workload) AllJobs(p predict.Predictor, sys *sched.System) []*sched.Job {
+	jobs := w.SpMMJobs(p, sys)
+	id := len(jobs)
+	for _, sg := range w.Subgraphs() {
+		n := sg.NumNodes()
+		for _, spec := range w.Model.Layers {
+			jobs = append(jobs, gemmJob(sys, &id, n, spec))
+			jobs = append(jobs, vaddJob(sys, &id, n*spec.Out))
+		}
+	}
+	return jobs
+}
+
+func gemmJob(sys *sched.System, id *int, rows int, spec LayerSpec) *sched.Job {
+	est := map[isa.Target]sched.Profile{}
+	for _, t := range sys.Targets() {
+		cfg := mem(t)
+		ru := clampArrays(sys, t, kernels.GEMM(cfg, rows, spec.In, spec.Out, 1).RepUnit)
+		e := kernels.GEMM(cfg, rows, spec.In, spec.Out, ru)
+		est[t] = sched.Profile{
+			UnitCycles: e.Cycles, RepUnit: ru,
+			LoadBytes:    sched.EffectiveLoadBytes(t, e.LoadBytes),
+			StoreBytes:   sched.EffectiveLoadBytes(t, e.StoreBytes),
+			ProgramBytes: e.ProgramBytes, Beta: sched.DefaultBeta,
+			Overhead: HostDispatch,
+		}
+	}
+	j := &sched.Job{ID: *id, Name: fmt.Sprintf("gemm-%dx%dx%d", rows, spec.In, spec.Out), Kind: "gemm", Est: est}
+	j.TrueTime = func(sys *sched.System, t isa.Target, arrays int) event.Time {
+		cfg := mem(t)
+		e := kernels.GEMM(cfg, rows, spec.In, spec.Out, arrays)
+		tt := HostDispatch + cfg.Clock().Cycles(e.Cycles) +
+			sys.DDR.StreamTime(sched.EffectiveLoadBytes(t, e.LoadBytes)) +
+			sys.DDR.StreamTime(sched.EffectiveLoadBytes(t, e.StoreBytes))
+		if e.ProgramBytes > 0 {
+			tt += sys.DDR.StreamTime(e.ProgramBytes) * 4
+		}
+		return tt
+	}
+	*id++
+	return j
+}
+
+func vaddJob(sys *sched.System, id *int, n int) *sched.Job {
+	est := map[isa.Target]sched.Profile{}
+	for _, t := range sys.Targets() {
+		cfg := mem(t)
+		ru := clampArrays(sys, t, kernels.Vadd(cfg, n, 1).RepUnit)
+		e := kernels.Vadd(cfg, n, ru)
+		est[t] = sched.Profile{
+			UnitCycles: e.Cycles, RepUnit: ru,
+			LoadBytes:  sched.EffectiveLoadBytes(t, e.LoadBytes),
+			StoreBytes: sched.EffectiveLoadBytes(t, e.StoreBytes),
+			Beta:       sched.DefaultBeta,
+			Overhead:   HostDispatch,
+		}
+	}
+	j := &sched.Job{ID: *id, Name: fmt.Sprintf("vadd-%d", n), Kind: "vadd", Est: est}
+	j.TrueTime = func(sys *sched.System, t isa.Target, arrays int) event.Time {
+		cfg := mem(t)
+		e := kernels.Vadd(cfg, n, arrays)
+		return HostDispatch + cfg.Clock().Cycles(e.Cycles) +
+			sys.DDR.StreamTime(sched.EffectiveLoadBytes(t, e.LoadBytes)) +
+			sys.DDR.StreamTime(sched.EffectiveLoadBytes(t, e.StoreBytes))
+	}
+	*id++
+	return j
+}

@@ -1,0 +1,349 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mlimp/internal/fixed"
+	"mlimp/internal/stats"
+)
+
+func triangle() *Graph {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	return b.Build()
+}
+
+func TestBuilderBasics(t *testing.T) {
+	g := triangle()
+	if g.N != 3 || g.NumEdges() != 3 {
+		t.Fatalf("triangle: %v", g)
+	}
+	for u := 0; u < 3; u++ {
+		if g.Degree(u) != 2 {
+			t.Errorf("degree(%d) = %d", u, g.Degree(u))
+		}
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("edges should be symmetric")
+	}
+	if g.HasEdge(0, 0) {
+		t.Error("no self loop expected")
+	}
+}
+
+func TestBuilderDedupesParallelEdges(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	if g.NumEdges() != 1 || g.Degree(0) != 1 {
+		t.Errorf("dedupe failed: m=%d deg0=%d", g.NumEdges(), g.Degree(0))
+	}
+}
+
+func TestSelfLoopCounting(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddEdge(0, 0)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	if g.NumEdges() != 2 {
+		t.Errorf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if !g.HasEdge(0, 0) {
+		t.Error("self loop lost")
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewBuilder(2).AddEdge(0, 5)
+}
+
+func TestAdjacencyMatchesGraph(t *testing.T) {
+	g := triangle()
+	a := g.Adjacency()
+	if a.NNZ() != 6 {
+		t.Errorf("adjacency nnz = %d, want 6", a.NNZ())
+	}
+	if a.At(0, 1) != fixed.FromInt(1) || a.At(0, 0) != 0 {
+		t.Error("adjacency values wrong")
+	}
+}
+
+func TestNormalizedAdjacency(t *testing.T) {
+	g := triangle()
+	na := g.NormalizedAdjacency()
+	// With self-loops every node has degree 3: all entries = 1/3.
+	if na.NNZ() != 9 {
+		t.Fatalf("nnz = %d, want 9", na.NNZ())
+	}
+	want := fixed.FromFloat(1.0 / 3)
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			if na.At(r, c) != want {
+				t.Errorf("na[%d][%d] = %v, want %v", r, c, na.At(r, c), want)
+			}
+		}
+	}
+}
+
+func TestNormalizedAdjacencyRowSortedAndStochasticish(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := BarabasiAlbert(rng, 200, 3)
+	na := g.NormalizedAdjacency()
+	for r := 0; r < g.N; r++ {
+		cols, vals := na.RowEntries(r)
+		hasSelf := false
+		for i := range cols {
+			if i > 0 && cols[i] <= cols[i-1] {
+				t.Fatalf("row %d columns not strictly sorted", r)
+			}
+			if int(cols[i]) == r {
+				hasSelf = true
+			}
+			if vals[i] <= 0 {
+				t.Fatalf("non-positive normalised weight at row %d", r)
+			}
+		}
+		if !hasSelf {
+			t.Fatalf("row %d missing renormalisation self-loop", r)
+		}
+	}
+}
+
+func TestBarabasiAlbertShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n, m := 500, 4
+	g := BarabasiAlbert(rng, n, m)
+	if g.N != n {
+		t.Fatalf("n = %d", g.N)
+	}
+	wantEdges := m*(m+1)/2 + (n-m-1)*m
+	if g.NumEdges() != wantEdges {
+		t.Errorf("edges = %d, want %d", g.NumEdges(), wantEdges)
+	}
+	// Scale-free: max degree should far exceed the mean degree.
+	maxDeg := 0
+	for u := 0; u < n; u++ {
+		if d := g.Degree(u); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	meanDeg := 2 * float64(g.NumEdges()) / float64(n)
+	if float64(maxDeg) < 3*meanDeg {
+		t.Errorf("max degree %d not heavy-tailed vs mean %.1f", maxDeg, meanDeg)
+	}
+}
+
+func TestBarabasiAlbertPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, c := range []struct{ n, m int }{{5, 0}, {3, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("BA(%d,%d) should panic", c.n, c.m)
+				}
+			}()
+			BarabasiAlbert(rng, c.n, c.m)
+		}()
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := ErdosRenyi(rng, 100, 300)
+	if g.NumEdges() != 300 {
+		t.Errorf("edges = %d", g.NumEdges())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for too many edges")
+		}
+	}()
+	ErdosRenyi(rng, 3, 10)
+}
+
+func TestSamplerContainsQueryAndNeighbors(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := BarabasiAlbert(rng, 300, 3)
+	s := NewSampler(rng, g, 2, 0) // unlimited fanout
+	sg := s.Sample(10)
+	if sg.Nodes[0] != 10 {
+		t.Fatal("query must be node 0 of the subgraph")
+	}
+	in := map[int32]bool{}
+	for _, v := range sg.Nodes {
+		in[v] = true
+	}
+	for _, v := range g.Neighbors(10) {
+		if !in[v] {
+			t.Errorf("1-hop neighbour %d missing", v)
+		}
+	}
+	if sg.NNZ() == 0 || sg.NumNodes() < 2 {
+		t.Error("subgraph should be nontrivial")
+	}
+}
+
+func TestSamplerFanoutLimitsGrowth(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := BarabasiAlbert(rng, 2000, 10)
+	limited := NewSampler(rng, g, 2, 3)
+	full := NewSampler(rng, g, 2, 0)
+	q := 0 // hub node in the seed clique: large neighbourhood
+	if ls, fs := limited.Sample(q).NumNodes(), full.Sample(q).NumNodes(); ls >= fs {
+		t.Errorf("fanout-limited %d should be smaller than full %d", ls, fs)
+	}
+	// Fanout-bounded worst case: 1 + 3 + 9 nodes for 2 hops, fanout 3.
+	if got := limited.Sample(q).NumNodes(); got > 13 {
+		t.Errorf("fanout bound violated: %d > 13", got)
+	}
+}
+
+func TestSamplerInducedAdjacencyIsConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := BarabasiAlbert(rng, 400, 4)
+	s := NewSampler(rng, g, 3, 8)
+	na := g.NormalizedAdjacency()
+	sg := s.Sample(42)
+	for li, u := range sg.Nodes {
+		cols, vals := sg.Adj.RowEntries(li)
+		for i, lc := range cols {
+			if got, want := vals[i], na.At(int(u), int(sg.Nodes[lc])); got != want {
+				t.Fatalf("induced value mismatch at local (%d,%d)", li, lc)
+			}
+		}
+	}
+}
+
+func TestConcatUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	g := BarabasiAlbert(rng, 300, 4)
+	s := NewSampler(rng, g, 2, 5)
+	batch := s.SampleBatch([]int{1, 2, 3, 4})
+	cat := s.Concat(batch)
+	union := map[int32]bool{}
+	for _, sg := range batch {
+		for _, v := range sg.Nodes {
+			union[v] = true
+		}
+	}
+	if cat.NumNodes() != len(union) {
+		t.Errorf("concat nodes = %d, union = %d", cat.NumNodes(), len(union))
+	}
+	var maxSingle int
+	for _, sg := range batch {
+		if sg.NumNodes() > maxSingle {
+			maxSingle = sg.NumNodes()
+		}
+	}
+	if cat.NumNodes() < maxSingle {
+		t.Error("concat smaller than largest component subgraph")
+	}
+}
+
+func TestConcatPanicsOnEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := BarabasiAlbert(rng, 10, 2)
+	s := NewSampler(rng, g, 1, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	s.Concat(nil)
+}
+
+func TestSubgraphSizeDistributionIsHeavyTailed(t *testing.T) {
+	// Figure 5 reproduction shape check: 3-hop subgraph sizes on a
+	// scale-free graph spread over a wide range.
+	rng := rand.New(rand.NewSource(11))
+	d, ok := DatasetByName("ogbl-collab")
+	if !ok {
+		t.Fatal("dataset missing")
+	}
+	g := d.Generate(rng)
+	s := NewSampler(rng, g, 2, 0)
+	var sizes []float64
+	for i := 0; i < 128; i++ {
+		sizes = append(sizes, float64(s.Sample(rng.Intn(g.N)).NumNodes()))
+	}
+	p10, p90 := stats.Percentile(sizes, 10), stats.Percentile(sizes, 90)
+	if p90 < 3*p10 {
+		t.Errorf("subgraph sizes not spread: p10=%v p90=%v", p10, p90)
+	}
+}
+
+func TestDatasetCatalogue(t *testing.T) {
+	if len(Datasets) != 5 {
+		t.Fatalf("want 5 Table I datasets, got %d", len(Datasets))
+	}
+	for _, d := range Datasets {
+		if d.SynthVertices() <= d.Attachment {
+			t.Errorf("%s: synthetic config infeasible", d.Name)
+		}
+		if d.String() == "" {
+			t.Error("empty render")
+		}
+	}
+	cit, ok := DatasetByName("ogbl-citation2")
+	if !ok || cit.Vertices != 2_927_963 {
+		t.Error("citation2 lookup failed")
+	}
+	if _, ok := DatasetByName("nope"); ok {
+		t.Error("bogus lookup should fail")
+	}
+	// Concatenated-subgraph mode for the nature-domain graphs.
+	for _, name := range []string{"ogbl-ppa", "ogbl-ddi"} {
+		if d, _ := DatasetByName(name); !d.Concat {
+			t.Errorf("%s should use concatenated subgraphs", name)
+		}
+	}
+}
+
+func TestDatasetAverageDegreePreserved(t *testing.T) {
+	for _, d := range Datasets {
+		if d.Name == "ogbl-ddi" {
+			continue // intentionally density-scaled
+		}
+		paperAvg := float64(d.Edges) / float64(d.Vertices)
+		synthAvg := float64(d.SynthEdges()) / float64(d.SynthVertices())
+		if math.Abs(paperAvg-synthAvg)/paperAvg > 0.25 {
+			t.Errorf("%s: avg degree drifted: paper %.1f synth %.1f", d.Name, paperAvg, synthAvg)
+		}
+	}
+}
+
+// Property: every sampled subgraph's induced adjacency is square with
+// dimension len(Nodes), query first, all node ids in range.
+func TestSamplerInvariantProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := BarabasiAlbert(rng, 500, 3)
+	s := NewSampler(rng, g, 2, 6)
+	f := func(q uint16) bool {
+		query := int(q) % g.N
+		sg := s.Sample(query)
+		if sg.Nodes[0] != int32(query) || sg.Adj.Rows != sg.NumNodes() || sg.Adj.Cols != sg.NumNodes() {
+			return false
+		}
+		for _, v := range sg.Nodes {
+			if v < 0 || int(v) >= g.N {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,79 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Edge-list IO: the bridge between the synthetic stand-ins and real
+// data. graphgen writes this format; users with the actual OGB edge
+// lists (or any other graph) can load them here and run every MLIMP
+// experiment on real topology.
+//
+// Format: one "u v" pair of whitespace-separated zero-based node ids per
+// line; lines starting with '#' or '%' are comments. Node count is
+// max(id)+1 unless a larger n is given.
+
+// WriteEdgeList writes each undirected edge once as "u v" lines.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.Neighbors(u) {
+			if int(v) >= u {
+				if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadEdgeList parses an edge list. n forces the node count (0 = infer
+// from the largest id). Parallel edges collapse; malformed lines error
+// with their line number.
+func LoadEdgeList(r io.Reader, n int) (*Graph, error) {
+	type edge struct{ u, v int }
+	var edges []edge
+	maxID := -1
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		var u, v int
+		if _, err := fmt.Sscanf(line, "%d %d", &u, &v); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %q: %w", lineNo, line, err)
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative node id", lineNo)
+		}
+		edges = append(edges, edge{u, v})
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("graph: empty edge list")
+	}
+	if n <= maxID {
+		n = maxID + 1
+	}
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e.u, e.v)
+	}
+	return b.Build(), nil
+}

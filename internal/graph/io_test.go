@@ -1,0 +1,92 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := BarabasiAlbert(rng, 200, 4)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadEdgeList(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.N != g.N || loaded.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: %v -> %v", g, loaded)
+	}
+	for u := 0; u < g.N; u++ {
+		a, b := g.Neighbors(u), loaded.Neighbors(u)
+		if len(a) != len(b) {
+			t.Fatalf("node %d: degree %d -> %d", u, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d: neighbours differ", u)
+			}
+		}
+	}
+}
+
+func TestLoadEdgeListCommentsAndBlank(t *testing.T) {
+	in := "# comment\n% matrix-market style\n\n0 1\n1 2\n0 1\n"
+	g, err := LoadEdgeList(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || g.NumEdges() != 2 { // duplicate collapses
+		t.Errorf("got %v", g)
+	}
+}
+
+func TestLoadEdgeListForcedN(t *testing.T) {
+	g, err := LoadEdgeList(strings.NewReader("0 1\n"), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 10 {
+		t.Errorf("forced n = %d", g.N)
+	}
+	// n smaller than the ids is corrected upward.
+	g, err = LoadEdgeList(strings.NewReader("0 7\n"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 8 {
+		t.Errorf("inferred n = %d, want 8", g.N)
+	}
+}
+
+func TestLoadEdgeListErrors(t *testing.T) {
+	for _, in := range []string{"", "a b\n", "1\n", "-1 2\n"} {
+		if _, err := LoadEdgeList(strings.NewReader(in), 0); err == nil {
+			t.Errorf("input %q should fail", in)
+		}
+	}
+}
+
+func TestLoadedGraphDrivesSampler(t *testing.T) {
+	// A loaded graph is a first-class citizen: sampling and normalised
+	// adjacency work on it directly.
+	rng := rand.New(rand.NewSource(2))
+	g := BarabasiAlbert(rng, 300, 3)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadEdgeList(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSampler(rng, loaded, 2, 8)
+	sg := s.Sample(5)
+	if sg.NumNodes() < 2 || sg.NNZ() == 0 {
+		t.Error("sampling a loaded graph failed")
+	}
+}

@@ -1,0 +1,180 @@
+package isa
+
+import (
+	"fmt"
+
+	"mlimp/internal/dfg"
+)
+
+// VLIW packing: Duality Cache executes data-parallel kernels in a
+// vectorised VLIW model — the controller issues independent operations
+// to disjoint array groups in the same macro-cycle (the paper adopts
+// this execution model for the data-parallel applications, Sections
+// III-A and III-D1). CompileVLIW list-schedules a kernel's DFG into
+// issue bundles: operations in one bundle have no data dependences and
+// run concurrently, so the bundle costs the maximum of its members'
+// cycles instead of their sum.
+
+// Bundle is one VLIW issue group.
+type Bundle struct {
+	Instrs []Instr
+	Cycles int64 // max over members
+}
+
+// VLIWProgram is a kernel scheduled into issue bundles for one target.
+type VLIWProgram struct {
+	Name    string
+	Target  Target
+	Width   int
+	Bundles []Bundle
+	// Cycles is the packed per-invocation latency (sum of bundle
+	// maxima); SerialCycles is the unpacked baseline for comparison.
+	Cycles       int64
+	SerialCycles int64
+}
+
+// Speedup returns the ILP speedup the packing achieved.
+func (p *VLIWProgram) Speedup() float64 {
+	if p.Cycles == 0 {
+		return 1
+	}
+	return float64(p.SerialCycles) / float64(p.Cycles)
+}
+
+// String renders a summary line.
+func (p *VLIWProgram) String() string {
+	return fmt.Sprintf("%s@%s vliw%d: %d bundles, %d cycles (%.2fx over serial)",
+		p.Name, p.Target, p.Width, len(p.Bundles), p.Cycles, p.Speedup())
+}
+
+// CompileVLIW lowers and schedules a kernel for the target with the
+// given issue width. Scheduling is critical-path-first list scheduling:
+// among ready operations (all predecessors issued), the ones on the
+// longest remaining dependence path issue first.
+func CompileVLIW(g *dfg.Graph, t Target, width int) (*VLIWProgram, error) {
+	if width < 1 {
+		return nil, fmt.Errorf("isa: VLIW width must be >= 1, got %d", width)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	m := Models(t)
+	nodes := g.Nodes()
+
+	cost := make([]int64, len(nodes))
+	isOp := make([]bool, len(nodes))
+	for _, n := range nodes {
+		if n.Op == dfg.OpConst || n.Op == dfg.OpInput {
+			continue
+		}
+		isOp[n.ID] = true
+		cost[n.ID] = m.OpCycles(n.Op, len(n.Args)/2)
+	}
+
+	// Remaining critical-path length per node (including itself).
+	succs := make([][]dfg.NodeID, len(nodes))
+	for _, n := range nodes {
+		for _, a := range n.Args {
+			succs[a] = append(succs[a], n.ID)
+		}
+	}
+	crit := make([]int64, len(nodes))
+	for i := len(nodes) - 1; i >= 0; i-- {
+		var best int64
+		for _, s := range succs[i] {
+			if crit[s] > best {
+				best = crit[s]
+			}
+		}
+		crit[i] = best + cost[i]
+	}
+
+	pendingDeps := make([]int, len(nodes))
+	for _, n := range nodes {
+		if !isOp[n.ID] {
+			continue
+		}
+		seenArg := map[dfg.NodeID]bool{}
+		for _, a := range n.Args {
+			if isOp[a] && !seenArg[a] {
+				seenArg[a] = true
+				pendingDeps[n.ID]++
+			}
+		}
+	}
+
+	ready := make([]dfg.NodeID, 0, len(nodes))
+	for _, n := range nodes {
+		if isOp[n.ID] && pendingDeps[n.ID] == 0 {
+			ready = append(ready, n.ID)
+		}
+	}
+
+	prog := &VLIWProgram{Name: g.Name, Target: t, Width: width}
+	scheduled := make([]bool, len(nodes))
+	for len(ready) > 0 {
+		// Critical-path-first: pick the `width` ready ops with the
+		// longest remaining paths.
+		sortByCritDesc(ready, crit)
+		take := width
+		if take > len(ready) {
+			take = len(ready)
+		}
+		var b Bundle
+		issued := ready[:take]
+		ready = append([]dfg.NodeID(nil), ready[take:]...)
+		for _, id := range issued {
+			n := nodes[id]
+			c := cost[id]
+			b.Instrs = append(b.Instrs, Instr{Op: n.Op, Cycles: c})
+			if c > b.Cycles {
+				b.Cycles = c
+			}
+			prog.SerialCycles += c
+			scheduled[id] = true
+		}
+		// Unlock successors whose dependences are now all scheduled.
+		for _, id := range issued {
+			for _, s := range succs[id] {
+				if !isOp[s] || scheduled[s] {
+					continue
+				}
+				allDone := true
+				for _, a := range nodes[s].Args {
+					if isOp[a] && !scheduled[a] {
+						allDone = false
+						break
+					}
+				}
+				if allDone && !contains(ready, s) {
+					ready = append(ready, s)
+				}
+			}
+		}
+		prog.Bundles = append(prog.Bundles, b)
+		prog.Cycles += b.Cycles
+	}
+	return prog, nil
+}
+
+func sortByCritDesc(ids []dfg.NodeID, crit []int64) {
+	for i := 1; i < len(ids); i++ {
+		for k := i; k > 0; k-- {
+			a, b := ids[k-1], ids[k]
+			if crit[b] > crit[a] || (crit[b] == crit[a] && b < a) {
+				ids[k-1], ids[k] = b, a
+			} else {
+				break
+			}
+		}
+	}
+}
+
+func contains(ids []dfg.NodeID, id dfg.NodeID) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}

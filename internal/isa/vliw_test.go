@@ -1,0 +1,158 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+
+	"mlimp/internal/apps"
+	"mlimp/internal/dfg"
+)
+
+// wideKernel has four independent multiplies feeding a reduction tree —
+// plenty of ILP.
+func wideKernel() *dfg.Graph {
+	g := dfg.NewGraph("wide")
+	a, b := g.Input("a"), g.Input("b")
+	p1 := g.Mul(a, b)
+	p2 := g.Mul(a, a)
+	p3 := g.Mul(b, b)
+	p4 := g.Mul(g.Add(a, b), b)
+	g.Output(g.Add(g.Add(p1, p2), g.Add(p3, p4)))
+	return g
+}
+
+// chainKernel is strictly sequential — zero ILP.
+func chainKernel() *dfg.Graph {
+	g := dfg.NewGraph("chain")
+	x := g.Input("x")
+	cur := x
+	for i := 0; i < 6; i++ {
+		cur = g.Mul(cur, x)
+	}
+	g.Output(cur)
+	return g
+}
+
+func TestVLIWWidthOneMatchesSerial(t *testing.T) {
+	for _, g := range []*dfg.Graph{wideKernel(), chainKernel()} {
+		p, err := CompileVLIW(g, SRAM, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Cycles != p.SerialCycles {
+			t.Errorf("%s: width-1 cycles %d != serial %d", g.Name, p.Cycles, p.SerialCycles)
+		}
+		serial, _ := Compile(g, SRAM)
+		if p.SerialCycles != serial.Cycles {
+			t.Errorf("%s: serial mismatch: %d vs %d", g.Name, p.SerialCycles, serial.Cycles)
+		}
+	}
+}
+
+func TestVLIWExploitsILP(t *testing.T) {
+	p, err := CompileVLIW(wideKernel(), SRAM, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Speedup() < 1.5 {
+		t.Errorf("wide kernel speedup = %.2f, want ILP benefit", p.Speedup())
+	}
+	// Packed latency can never beat the critical path: the chain of
+	// mul(302) -> three add levels is a lower bound here.
+	if p.Cycles < 302+16 {
+		t.Errorf("packed cycles %d below the critical path", p.Cycles)
+	}
+}
+
+func TestVLIWChainGainsNothing(t *testing.T) {
+	p, err := CompileVLIW(chainKernel(), SRAM, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cycles != p.SerialCycles {
+		t.Errorf("sequential chain cannot pack: %d vs %d", p.Cycles, p.SerialCycles)
+	}
+	if p.Speedup() != 1 {
+		t.Errorf("speedup = %v", p.Speedup())
+	}
+}
+
+func TestVLIWRespectsDependences(t *testing.T) {
+	// Every bundle's instructions must not depend on one another; we
+	// verify the aggregate invariant: sum of bundle maxima >= critical
+	// path and <= serial sum, and bundle count >= ceil(ops/width).
+	g := wideKernel()
+	for _, width := range []int{1, 2, 3, 4, 8} {
+		p, err := CompileVLIW(g, SRAM, width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Cycles > p.SerialCycles {
+			t.Errorf("width %d: packed %d exceeds serial %d", width, p.Cycles, p.SerialCycles)
+		}
+		ops := 0
+		for _, b := range p.Bundles {
+			if len(b.Instrs) > width {
+				t.Fatalf("width %d: bundle with %d instrs", width, len(b.Instrs))
+			}
+			ops += len(b.Instrs)
+		}
+		serial, _ := Compile(g, SRAM)
+		if ops != len(serial.Instrs) {
+			t.Errorf("width %d: scheduled %d of %d ops", width, ops, len(serial.Instrs))
+		}
+	}
+}
+
+func TestVLIWMonotoneInWidth(t *testing.T) {
+	g := wideKernel()
+	prev := int64(1 << 62)
+	for _, width := range []int{1, 2, 4, 8} {
+		p, _ := CompileVLIW(g, SRAM, width)
+		if p.Cycles > prev {
+			t.Errorf("width %d: cycles %d worse than narrower width (%d)", width, p.Cycles, prev)
+		}
+		prev = p.Cycles
+	}
+}
+
+func TestVLIWErrors(t *testing.T) {
+	if _, err := CompileVLIW(wideKernel(), SRAM, 0); err == nil {
+		t.Error("zero width should fail")
+	}
+	bad := dfg.NewGraph("bad")
+	bad.Input("x")
+	if _, err := CompileVLIW(bad, SRAM, 2); err == nil {
+		t.Error("invalid graph should fail")
+	}
+}
+
+func TestVLIWOnApplicationSuite(t *testing.T) {
+	// Every Table II kernel must pack without loss on every target, and
+	// the packing must help at least one kernel per target.
+	for _, tgt := range Targets {
+		helped := false
+		for _, a := range apps.Suite() {
+			p, err := CompileVLIW(a.Kernel, tgt, 4)
+			if err != nil {
+				t.Fatalf("%s@%s: %v", a.Name, tgt, err)
+			}
+			if p.Cycles > p.SerialCycles {
+				t.Errorf("%s@%s: packing regressed", a.Name, tgt)
+			}
+			if p.Speedup() > 1.2 {
+				helped = true
+			}
+		}
+		if !helped {
+			t.Errorf("%s: VLIW packing helped no kernel", tgt)
+		}
+	}
+}
+
+func TestVLIWString(t *testing.T) {
+	p, _ := CompileVLIW(wideKernel(), ReRAM, 4)
+	if s := p.String(); !strings.Contains(s, "vliw4") || !strings.Contains(s, "ReRAM") {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,164 @@
+// Package mainmem is the "ramulator-lite" DDR4 timing model: a bank/row-
+// buffer main-memory simulator supplying load/store latency and bandwidth
+// to the rest of MLIMP ("Load and store bandwidth for the main memory
+// communication is simulated using Ramulator integrated into our
+// simulator", Section IV). It models per-bank open rows, row-hit/miss/
+// conflict timing, channel interleaving, and a closed-form streaming
+// model for the bulk transfers the scheduler's load-time term uses.
+package mainmem
+
+import (
+	"fmt"
+
+	"mlimp/internal/event"
+)
+
+// Config holds the DDR4 organisation and timing parameters.
+type Config struct {
+	Channels        int
+	BanksPerChannel int
+	RowBytes        int64
+	LineBytes       int64 // transfer granule (one burst)
+
+	TCK   event.Time // clock period (ps)
+	TRCD  event.Time // activate-to-read
+	TRP   event.Time // precharge
+	TCAS  event.Time // read latency
+	Burst event.Time // data burst duration for one line
+
+	// RefreshOverhead derates streaming bandwidth for refresh and bus
+	// turnaround (fraction of time lost).
+	RefreshOverhead float64
+}
+
+// DDR4_2400 returns the evaluation configuration: DDR4-2400, 4 channels,
+// 1 rank, 16 banks (Section V-A), 8 KB rows, 64 B lines.
+func DDR4_2400() Config {
+	tck := event.Time(833) // ps at 1200 MHz bus clock
+	return Config{
+		Channels:        4,
+		BanksPerChannel: 16,
+		RowBytes:        8192,
+		LineBytes:       64,
+		TCK:             tck,
+		TRCD:            16 * tck, // ~13.3 ns
+		TRP:             16 * tck,
+		TCAS:            16 * tck,
+		Burst:           4 * tck, // 8 beats DDR
+		RefreshOverhead: 0.05,
+	}
+}
+
+// PeakBandwidthGBs returns the aggregate pin bandwidth in GB/s.
+func (c Config) PeakBandwidthGBs() float64 {
+	perChannel := float64(c.LineBytes) / c.Burst.Seconds() // B/s
+	return float64(c.Channels) * perChannel / 1e9
+}
+
+// bank tracks one bank's open row and availability.
+type bank struct {
+	openRow int64 // -1 = closed
+	freeAt  event.Time
+}
+
+// Controller is a sequentially simulated memory controller with open-page
+// policy and line-interleaved channel mapping.
+type Controller struct {
+	cfg   Config
+	banks [][]bank
+	// Stats.
+	Hits, Misses, Conflicts int64
+}
+
+// NewController builds a controller with all rows closed.
+func NewController(cfg Config) *Controller {
+	if cfg.Channels <= 0 || cfg.BanksPerChannel <= 0 {
+		panic("mainmem: bad configuration")
+	}
+	c := &Controller{cfg: cfg, banks: make([][]bank, cfg.Channels)}
+	for ch := range c.banks {
+		c.banks[ch] = make([]bank, cfg.BanksPerChannel)
+		for b := range c.banks[ch] {
+			c.banks[ch][b].openRow = -1
+		}
+	}
+	return c
+}
+
+// Config returns the controller's configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// decode maps a physical address to (channel, bank, row) with line-level
+// channel interleaving and an XOR fold of row bits into the bank index to
+// spread strided accesses (the XOR-based mapping of Section III-B2).
+func (c *Controller) decode(addr int64) (ch, bk int, row int64) {
+	line := addr / c.cfg.LineBytes
+	ch = int(line % int64(c.cfg.Channels))
+	line /= int64(c.cfg.Channels)
+	linesPerRow := c.cfg.RowBytes / c.cfg.LineBytes
+	row = line / linesPerRow
+	bk = int((line/linesPerRow ^ line) % int64(c.cfg.BanksPerChannel))
+	if bk < 0 {
+		bk = -bk
+	}
+	return ch, bk, row
+}
+
+// Access simulates one line read/write issued at time now and returns
+// the completion time. Row hits pay CAS+burst; misses add activation;
+// conflicts add precharge of the currently open row.
+func (c *Controller) Access(now event.Time, addr int64) event.Time {
+	ch, bk, row := c.decode(addr)
+	b := &c.banks[ch][bk]
+	start := now
+	if b.freeAt > start {
+		start = b.freeAt
+	}
+	var lat event.Time
+	switch {
+	case b.openRow == row:
+		c.Hits++
+		lat = c.cfg.TCAS + c.cfg.Burst
+	case b.openRow == -1:
+		c.Misses++
+		lat = c.cfg.TRCD + c.cfg.TCAS + c.cfg.Burst
+	default:
+		c.Conflicts++
+		lat = c.cfg.TRP + c.cfg.TRCD + c.cfg.TCAS + c.cfg.Burst
+	}
+	b.openRow = row
+	done := start + lat
+	b.freeAt = done
+	return done
+}
+
+// StreamTime returns the closed-form time to move bytes sequentially
+// between main memory and an in-memory compute region: per-row activation
+// costs amortised over full-row bursts, pipelined across all channels,
+// derated by the refresh overhead. This is the t_ld building block of
+// the scheduler's analytical model.
+func (c *Controller) StreamTime(bytes int64) event.Time {
+	if bytes <= 0 {
+		return 0
+	}
+	cfg := c.cfg
+	linesPerRow := cfg.RowBytes / cfg.LineBytes
+	perRow := event.Time(linesPerRow)*cfg.Burst + cfg.TRP + cfg.TRCD
+	rows := (bytes + cfg.RowBytes*int64(cfg.Channels) - 1) / (cfg.RowBytes * int64(cfg.Channels))
+	t := event.Time(rows)*perRow + cfg.TCAS // pipeline fill
+	return event.Time(float64(t) * (1 + cfg.RefreshOverhead))
+}
+
+// EffectiveBandwidthGBs reports the streaming bandwidth implied by
+// StreamTime for large transfers.
+func (c *Controller) EffectiveBandwidthGBs() float64 {
+	const probe = 1 << 30
+	return probe / c.StreamTime(probe).Seconds() / 1e9
+}
+
+// String summarises controller state.
+func (c *Controller) String() string {
+	return fmt.Sprintf("ddr4(ch=%d banks=%d peak=%.1fGB/s eff=%.1fGB/s hits=%d misses=%d conflicts=%d)",
+		c.cfg.Channels, c.cfg.BanksPerChannel, c.cfg.PeakBandwidthGBs(),
+		c.EffectiveBandwidthGBs(), c.Hits, c.Misses, c.Conflicts)
+}

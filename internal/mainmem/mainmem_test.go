@@ -1,0 +1,145 @@
+package mainmem
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mlimp/internal/event"
+)
+
+func TestPeakBandwidth(t *testing.T) {
+	cfg := DDR4_2400()
+	// 4 channels x 19.2 GB/s = 76.8 GB/s.
+	got := cfg.PeakBandwidthGBs()
+	if got < 73 || got > 80 {
+		t.Errorf("peak bandwidth = %.1f GB/s, want ~76.8", got)
+	}
+}
+
+func TestEffectiveBandwidthBelowPeak(t *testing.T) {
+	c := NewController(DDR4_2400())
+	eff, peak := c.EffectiveBandwidthGBs(), c.Config().PeakBandwidthGBs()
+	if eff >= peak {
+		t.Errorf("effective %.1f >= peak %.1f", eff, peak)
+	}
+	if eff < 0.7*peak {
+		t.Errorf("effective %.1f implausibly low vs peak %.1f", eff, peak)
+	}
+}
+
+func TestRowHitMissConflict(t *testing.T) {
+	c := NewController(DDR4_2400())
+	cfg := c.Config()
+	// First access to a row: miss (activation).
+	d1 := c.Access(0, 0)
+	if want := cfg.TRCD + cfg.TCAS + cfg.Burst; d1 != want {
+		t.Errorf("cold access = %v, want %v", d1, want)
+	}
+	// Same line again: row hit, faster.
+	d2 := c.Access(d1, 0) - d1
+	if want := cfg.TCAS + cfg.Burst; d2 != want {
+		t.Errorf("row hit = %v, want %v", d2, want)
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Errorf("hits=%d misses=%d", c.Hits, c.Misses)
+	}
+	// A different row in the same bank: conflict (precharge first).
+	// Same channel & bank requires stepping by channels*rowBytes... find
+	// an address that collides by scanning.
+	var conflictAddr int64 = -1
+	ch0, bk0, row0 := c.decode(0)
+	for a := int64(1); a < 1<<26; a += cfg.LineBytes {
+		ch, bk, row := c.decode(a)
+		if ch == ch0 && bk == bk0 && row != row0 {
+			conflictAddr = a
+			break
+		}
+	}
+	if conflictAddr < 0 {
+		t.Fatal("no conflicting address found")
+	}
+	before := c.Conflicts
+	c.Access(2*d1, conflictAddr)
+	if c.Conflicts != before+1 {
+		t.Error("expected a row conflict")
+	}
+}
+
+func TestBankQueueing(t *testing.T) {
+	c := NewController(DDR4_2400())
+	// Two back-to-back accesses to the same bank issued at time 0: the
+	// second must wait for the first.
+	d1 := c.Access(0, 0)
+	d2 := c.Access(0, 0)
+	if d2 <= d1 {
+		t.Errorf("second access done %v, first %v: no serialisation", d2, d1)
+	}
+}
+
+func TestChannelsSpreadLines(t *testing.T) {
+	c := NewController(DDR4_2400())
+	seen := map[int]bool{}
+	for i := int64(0); i < 8; i++ {
+		ch, _, _ := c.decode(i * 64)
+		seen[ch] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("line interleave hit %d channels, want 4", len(seen))
+	}
+}
+
+func TestStreamTimeMonotone(t *testing.T) {
+	c := NewController(DDR4_2400())
+	if c.StreamTime(0) != 0 {
+		t.Error("zero bytes should take zero time")
+	}
+	small, large := c.StreamTime(1<<20), c.StreamTime(1<<24)
+	if small <= 0 || large <= small {
+		t.Errorf("stream times not monotone: %v, %v", small, large)
+	}
+	// 1 GiB at ~70 GB/s is ~15 ms.
+	sec := c.StreamTime(1 << 30).Seconds()
+	if sec < 0.005 || sec > 0.05 {
+		t.Errorf("1 GiB stream = %v s, want ~0.015", sec)
+	}
+}
+
+func TestNewControllerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewController(Config{})
+}
+
+func TestString(t *testing.T) {
+	c := NewController(DDR4_2400())
+	if s := c.String(); !strings.Contains(s, "ddr4") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// Property: access completion times are causally consistent — the result
+// is never before the issue time plus the minimum service latency, and
+// per-bank order is preserved.
+func TestAccessCausalityProperty(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		c := NewController(DDR4_2400())
+		cfg := c.Config()
+		minLat := cfg.TCAS + cfg.Burst
+		now := event.Time(0)
+		for _, a := range addrs {
+			done := c.Access(now, int64(a))
+			if done < now+minLat {
+				return false
+			}
+			now += 100 // issue every 100 ps
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,243 @@
+// Package mem defines the common abstraction over MLIMP's computable
+// memories: the Table III device configurations, the Figure 1 technology
+// characteristics, and the scratchpad allocation scheme that lets
+// in-memory compute regions co-exist with the conventional cache/memory
+// system (Section III-B2, VLS-style coarse partitions).
+package mem
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mlimp/internal/event"
+	"mlimp/internal/isa"
+)
+
+// Config describes one in-memory computing device, mirroring a Table III
+// row.
+type Config struct {
+	Target       isa.Target
+	ArrayRows    int // wordlines per array
+	ArrayCols    int // bitlines per array
+	BitsPerCell  int
+	NumArrays    int
+	MBPerMM2     float64
+	FreqMHz      float64
+	ALUsPerArray int
+	MaxJobs      int // outstanding jobs per device ("up to 8", Sec. V-A)
+}
+
+// TotalALUs returns the device-wide SIMD ALU count.
+func (c Config) TotalALUs() int64 { return int64(c.NumArrays) * int64(c.ALUsPerArray) }
+
+// ArrayBits returns the bit capacity of one array.
+func (c Config) ArrayBits() int64 {
+	return int64(c.ArrayRows) * int64(c.ArrayCols) * int64(c.BitsPerCell)
+}
+
+// ArrayBytes returns the byte capacity of one array.
+func (c Config) ArrayBytes() int64 { return c.ArrayBits() / 8 }
+
+// TotalBytes returns the device-wide byte capacity.
+func (c Config) TotalBytes() int64 { return c.ArrayBytes() * int64(c.NumArrays) }
+
+// Clock returns the device clock.
+func (c Config) Clock() event.Clock { return event.NewClock(c.FreqMHz) }
+
+// String renders the Table III row.
+func (c Config) String() string {
+	return fmt.Sprintf("%-5s %4dx%-6d x%d bit/cell  #arrays=%-6d %5.1f MB/mm2 %6.0f MHz  ALUs=%d",
+		c.Target, c.ArrayRows, c.ArrayCols, c.BitsPerCell, c.NumArrays,
+		c.MBPerMM2, c.FreqMHz, c.TotalALUs())
+}
+
+// Table III configurations. SRAM uses half the LLC for in-cache
+// computing (Section V-A); DRAM is DDR4-2400 with 4 channels, 1 rank, 16
+// chips, 16 banks (1,024 computable banks); ReRAM is the 336 MB
+// accelerator chip scaled down from IMP.
+var (
+	// SRAMConfig: 256x256 arrays, 5,120 arrays, 2.5 GHz, 256 bit-serial
+	// ALUs per array (1.31 M total).
+	SRAMConfig = Config{
+		Target: isa.SRAM, ArrayRows: 256, ArrayCols: 256, BitsPerCell: 1,
+		NumArrays: 5120, MBPerMM2: 0.6, FreqMHz: 2500, ALUsPerArray: 256,
+		MaxJobs: 8,
+	}
+	// DRAMConfig: 8 KB rows x 8,192 per bank, 1,024 banks, 300 MHz
+	// in-memory op rate, 65,536 bitline ALUs per bank (67.1 M total).
+	DRAMConfig = Config{
+		Target: isa.DRAM, ArrayRows: 8192, ArrayCols: 65536, BitsPerCell: 1,
+		NumArrays: 1024, MBPerMM2: 17.5, FreqMHz: 300, ALUsPerArray: 65536,
+		MaxJobs: 8,
+	}
+	// ReRAMConfig: 128x128 crossbars with 2-bit cells, 86,016 arrays,
+	// 20 MHz, 16 ALUs per array (1.37 M total) — the 336 MB chip.
+	ReRAMConfig = Config{
+		Target: isa.ReRAM, ArrayRows: 128, ArrayCols: 128, BitsPerCell: 2,
+		NumArrays: 86016, MBPerMM2: 2.5, FreqMHz: 20, ALUsPerArray: 16,
+		MaxJobs: 8,
+	}
+)
+
+// ConfigFor returns the Table III configuration of a target.
+func ConfigFor(t isa.Target) Config {
+	switch t {
+	case isa.SRAM:
+		return SRAMConfig
+	case isa.DRAM:
+		return DRAMConfig
+	case isa.ReRAM:
+		return ReRAMConfig
+	}
+	panic("mem: unknown target")
+}
+
+// Allocation is a scratchpad reservation of whole arrays on one device —
+// the coarse-grained partition of Section III-B2 that avoids integrating
+// compute lines with set-associative caching.
+type Allocation struct {
+	Device *Device
+	Arrays int
+	id     int64
+}
+
+// ALUs returns the SIMD lanes available to this allocation.
+func (a *Allocation) ALUs() int64 {
+	return int64(a.Arrays) * int64(a.Device.Config.ALUsPerArray)
+}
+
+// Bytes returns the scratchpad capacity of this allocation.
+func (a *Allocation) Bytes() int64 {
+	return int64(a.Arrays) * a.Device.Config.ArrayBytes()
+}
+
+// Device is an allocatable in-memory compute resource. It tracks array
+// ownership and enforces the outstanding-job limit. Device methods are
+// safe for concurrent use so schedulers may run in parallel with the
+// simulation loop.
+type Device struct {
+	Config Config
+
+	mu      sync.Mutex
+	free    int
+	jobs    int
+	nextID  int64
+	granted map[int64]int
+}
+
+// NewDevice builds a device with all arrays free. A fraction of arrays
+// can be withheld for the conventional cache/memory system via reserve
+// (e.g. keeping half the LLC as a general cache).
+func NewDevice(c Config, reserve int) *Device {
+	if reserve < 0 || reserve >= c.NumArrays {
+		panic("mem: invalid reservation")
+	}
+	return &Device{Config: c, free: c.NumArrays - reserve, granted: make(map[int64]int)}
+}
+
+// FreeArrays returns the number of currently unallocated arrays.
+func (d *Device) FreeArrays() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.free
+}
+
+// CapacityArrays returns the total allocatable arrays (after reservation).
+func (d *Device) CapacityArrays() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	total := d.free
+	for _, n := range d.granted {
+		total += n
+	}
+	return total
+}
+
+// ActiveJobs returns the number of outstanding allocations.
+func (d *Device) ActiveJobs() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.jobs
+}
+
+// Alloc reserves arrays for one job. It fails when fewer arrays are free
+// or the outstanding-job limit is reached.
+func (d *Device) Alloc(arrays int) (*Allocation, error) {
+	if arrays <= 0 {
+		return nil, fmt.Errorf("mem: allocation must be positive, got %d", arrays)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.jobs >= d.Config.MaxJobs {
+		return nil, fmt.Errorf("mem: %s job limit %d reached", d.Config.Target, d.Config.MaxJobs)
+	}
+	if arrays > d.free {
+		return nil, fmt.Errorf("mem: %s wants %d arrays, %d free", d.Config.Target, arrays, d.free)
+	}
+	d.free -= arrays
+	d.jobs++
+	d.nextID++
+	d.granted[d.nextID] = arrays
+	return &Allocation{Device: d, Arrays: arrays, id: d.nextID}, nil
+}
+
+// Release returns an allocation's arrays to the pool. Releasing twice
+// panics: it would corrupt accounting silently.
+func (d *Device) Release(a *Allocation) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n, ok := d.granted[a.id]
+	if !ok {
+		panic("mem: double release")
+	}
+	delete(d.granted, a.id)
+	d.free += n
+	d.jobs--
+}
+
+// Technology characterises one memory technology for the Figure 1
+// landscape: relative energy per access, access delay, and the
+// parallelism proxy (sense-amplifier density per unit area).
+type Technology struct {
+	Name           string
+	EnergyPJPerBit float64 // energy per bit accessed
+	LatencyNs      float64 // array access latency
+	CellSizeF2     float64 // bit-cell area in F^2
+	SAShare        float64 // fraction of columns with a private sense amp
+}
+
+// Parallelism is the Figure 1 compute-parallelism proxy: available sense
+// amplifiers per unit area (higher is better), normalised to DRAM = 1.
+func (t Technology) Parallelism() float64 {
+	dram := technologies[1]
+	self := t.SAShare / t.CellSizeF2
+	ref := dram.SAShare / dram.CellSizeF2
+	return self / ref
+}
+
+var technologies = []Technology{
+	{Name: "SRAM", EnergyPJPerBit: 0.03, LatencyNs: 0.4, CellSizeF2: 146, SAShare: 1},
+	{Name: "DRAM", EnergyPJPerBit: 0.4, LatencyNs: 45, CellSizeF2: 6, SAShare: 1.0 / 512},
+	{Name: "ReRAM", EnergyPJPerBit: 2.0, LatencyNs: 50, CellSizeF2: 4, SAShare: 1.0 / 8},
+	{Name: "STT-RAM", EnergyPJPerBit: 1.0, LatencyNs: 35, CellSizeF2: 20, SAShare: 1.0 / 16},
+	{Name: "NAND-Flash", EnergyPJPerBit: 5.0, LatencyNs: 25000, CellSizeF2: 1, SAShare: 1.0 / 16384},
+}
+
+// Technologies returns the Figure 1 characterisation table sorted by
+// name for stable output.
+func Technologies() []Technology {
+	out := append([]Technology(nil), technologies...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// TechnologyByName looks up one Figure 1 row.
+func TechnologyByName(name string) (Technology, bool) {
+	for _, t := range technologies {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return Technology{}, false
+}

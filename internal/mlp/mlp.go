@@ -1,0 +1,205 @@
+// Package mlp is a from-scratch feed-forward neural network with Adam
+// training — the substrate of MLIMP's performance predictor ("The
+// regressors have two hidden layers with 16 and 8 nodes", Section III-E).
+// float64 throughout: the predictor runs on the host CPU, not in memory.
+package mlp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Net is a fully connected feed-forward network with tanh hidden
+// activations and a linear output layer.
+type Net struct {
+	sizes   []int
+	weights [][][]float64 // [layer][out][in]
+	biases  [][]float64   // [layer][out]
+
+	// Adam state.
+	mW, vW [][][]float64
+	mB, vB [][]float64
+	step   int
+}
+
+// New builds a network with the given layer sizes (inputs first, output
+// last), Xavier-initialised from rng.
+func New(rng *rand.Rand, sizes ...int) *Net {
+	if len(sizes) < 2 {
+		panic("mlp: need at least input and output sizes")
+	}
+	for _, s := range sizes {
+		if s <= 0 {
+			panic("mlp: layer sizes must be positive")
+		}
+	}
+	n := &Net{sizes: append([]int(nil), sizes...)}
+	for l := 1; l < len(sizes); l++ {
+		in, out := sizes[l-1], sizes[l]
+		scale := math.Sqrt(2.0 / float64(in+out))
+		w := make([][]float64, out)
+		mw := make([][]float64, out)
+		vw := make([][]float64, out)
+		for o := range w {
+			w[o] = make([]float64, in)
+			mw[o] = make([]float64, in)
+			vw[o] = make([]float64, in)
+			for i := range w[o] {
+				w[o][i] = rng.NormFloat64() * scale
+			}
+		}
+		n.weights = append(n.weights, w)
+		n.mW = append(n.mW, mw)
+		n.vW = append(n.vW, vw)
+		n.biases = append(n.biases, make([]float64, out))
+		n.mB = append(n.mB, make([]float64, out))
+		n.vB = append(n.vB, make([]float64, out))
+	}
+	return n
+}
+
+// NumParams returns the trainable parameter count.
+func (n *Net) NumParams() int {
+	total := 0
+	for l := range n.weights {
+		total += len(n.weights[l])*len(n.weights[l][0]) + len(n.biases[l])
+	}
+	return total
+}
+
+// Forward runs inference and returns the output vector.
+func (n *Net) Forward(x []float64) []float64 {
+	out, _ := n.forward(x)
+	return out
+}
+
+// forward returns the output and all layer activations (inputs first).
+func (n *Net) forward(x []float64) ([]float64, [][]float64) {
+	if len(x) != n.sizes[0] {
+		panic(fmt.Sprintf("mlp: input size %d, want %d", len(x), n.sizes[0]))
+	}
+	acts := [][]float64{append([]float64(nil), x...)}
+	cur := acts[0]
+	for l := range n.weights {
+		next := make([]float64, n.sizes[l+1])
+		for o := range next {
+			s := n.biases[l][o]
+			row := n.weights[l][o]
+			for i, v := range cur {
+				s += row[i] * v
+			}
+			if l < len(n.weights)-1 {
+				s = math.Tanh(s)
+			}
+			next[o] = s
+		}
+		acts = append(acts, next)
+		cur = next
+	}
+	return cur, acts
+}
+
+// Adam hyperparameters.
+const (
+	beta1 = 0.9
+	beta2 = 0.999
+	eps   = 1e-8
+)
+
+// TrainStep performs one Adam update on a single (x, y) pair with mean
+// squared error loss and returns the sample loss before the update.
+func (n *Net) TrainStep(x, y []float64, lr float64) float64 {
+	out, acts := n.forward(x)
+	if len(y) != len(out) {
+		panic("mlp: target size mismatch")
+	}
+	// Output delta (linear layer, MSE): d = out - y.
+	delta := make([]float64, len(out))
+	var loss float64
+	for i := range out {
+		d := out[i] - y[i]
+		delta[i] = 2 * d / float64(len(out))
+		loss += d * d
+	}
+	loss /= float64(len(out))
+
+	n.step++
+	for l := len(n.weights) - 1; l >= 0; l-- {
+		in := acts[l]
+		var nextDelta []float64
+		if l > 0 {
+			nextDelta = make([]float64, len(in))
+		}
+		for o := range n.weights[l] {
+			row := n.weights[l][o]
+			d := delta[o]
+			for i := range row {
+				if nextDelta != nil {
+					nextDelta[i] += row[i] * d
+				}
+				n.adamW(l, o, i, d*in[i])
+			}
+			n.adamB(l, o, d)
+		}
+		// Apply tanh derivative for the layer below (its outputs were
+		// tanh-activated).
+		if l > 0 {
+			for i := range nextDelta {
+				a := acts[l][i]
+				nextDelta[i] *= 1 - a*a
+			}
+			delta = nextDelta
+		}
+	}
+	n.apply(lr)
+	return loss
+}
+
+// gradient accumulators for the pending step.
+func (n *Net) adamW(l, o, i int, g float64) {
+	n.mW[l][o][i] = beta1*n.mW[l][o][i] + (1-beta1)*g
+	n.vW[l][o][i] = beta2*n.vW[l][o][i] + (1-beta2)*g*g
+}
+
+func (n *Net) adamB(l, o int, g float64) {
+	n.mB[l][o] = beta1*n.mB[l][o] + (1-beta1)*g
+	n.vB[l][o] = beta2*n.vB[l][o] + (1-beta2)*g*g
+}
+
+// apply performs the bias-corrected Adam parameter update.
+func (n *Net) apply(lr float64) {
+	c1 := 1 - math.Pow(beta1, float64(n.step))
+	c2 := 1 - math.Pow(beta2, float64(n.step))
+	for l := range n.weights {
+		for o := range n.weights[l] {
+			for i := range n.weights[l][o] {
+				mHat := n.mW[l][o][i] / c1
+				vHat := n.vW[l][o][i] / c2
+				n.weights[l][o][i] -= lr * mHat / (math.Sqrt(vHat) + eps)
+			}
+			mHat := n.mB[l][o] / c1
+			vHat := n.vB[l][o] / c2
+			n.biases[l][o] -= lr * mHat / (math.Sqrt(vHat) + eps)
+		}
+	}
+}
+
+// Fit trains on the dataset for the given number of epochs with
+// per-sample Adam updates in a shuffled order, returning the final mean
+// epoch loss.
+func (n *Net) Fit(rng *rand.Rand, xs, ys [][]float64, epochs int, lr float64) float64 {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		panic("mlp: bad training set")
+	}
+	var last float64
+	for e := 0; e < epochs; e++ {
+		perm := rng.Perm(len(xs))
+		var sum float64
+		for _, i := range perm {
+			sum += n.TrainStep(xs[i], ys[i], lr)
+		}
+		last = sum / float64(len(xs))
+	}
+	return last
+}

@@ -1,0 +1,169 @@
+// Package reram implements the functional and timing model of in-ReRAM
+// analog computing (IMP / ISAAC / PRIME, Section II-B3). A Crossbar
+// stores 16-bit weights sliced into eight 2-bit memristor cells across
+// adjacent bitlines; inputs stream through 2-bit DACs over eight cycles;
+// bitline currents accumulate multi-operand sums by Kirchhoff's law and
+// are digitised by per-column ADCs, then combined by the peripheral
+// shift-and-add unit.
+//
+// Signed arithmetic uses offset encoding on both operands (weights and
+// inputs are stored/streamed as value+32768); the peripheral subtracts
+// the digitally tracked correction terms, making the analog dot product
+// bit-exact against an integer reference — which the tests assert.
+package reram
+
+import (
+	"fmt"
+
+	"mlimp/internal/fixed"
+)
+
+const (
+	// CellBits is the memristor cell resolution (2 bits, Table III).
+	CellBits = 2
+	// WordBits is the operand width.
+	WordBits = 16
+	// SlicesPerWeight is how many cells hold one weight (16/2 = 8).
+	SlicesPerWeight = WordBits / CellBits
+	// DACBits is the input DAC resolution per streaming cycle.
+	DACBits = 2
+	// MACCycles is the input streaming depth: 16 bits / 2-bit DAC = 8
+	// cycles per multi-operand MAC, the Table III ReRAM figure.
+	MACCycles = WordBits / DACBits
+
+	offset = 1 << (WordBits - 1) // offset-encoding bias (32768)
+	digits = WordBits / DACBits
+	radix  = 1 << DACBits
+)
+
+// Crossbar is one ReRAM compute array: Rows wordlines by PhysCols
+// bitlines of 2-bit cells. PhysCols/SlicesPerWeight logical dot-product
+// ALUs (128/8 = 16, the Table III ALUs-per-array figure).
+type Crossbar struct {
+	Rows, PhysCols int
+	cells          [][]uint8 // [row][physCol], 0..3 conductance levels
+	// Per-logical-column digital metadata for offset correction.
+	weightSum []int64 // sum of offset-encoded weights
+	active    []int   // programmed row count
+}
+
+// NewCrossbar builds a zeroed crossbar.
+func NewCrossbar(rows, physCols int) *Crossbar {
+	if rows <= 0 || physCols <= 0 || physCols%SlicesPerWeight != 0 {
+		panic("reram: bad crossbar geometry")
+	}
+	c := &Crossbar{Rows: rows, PhysCols: physCols,
+		cells:     make([][]uint8, rows),
+		weightSum: make([]int64, physCols/SlicesPerWeight),
+		active:    make([]int, physCols/SlicesPerWeight),
+	}
+	for i := range c.cells {
+		c.cells[i] = make([]uint8, physCols)
+	}
+	return c
+}
+
+// ALUs returns the number of logical dot-product units.
+func (c *Crossbar) ALUs() int { return c.PhysCols / SlicesPerWeight }
+
+// ProgramWeights writes a weight vector down logical column lcol, one
+// weight per row, sliced into 2-bit cells. Programming is a (slow,
+// endurance-limited) write operation billed separately by the energy
+// model; reprogramming a column simply overwrites it.
+func (c *Crossbar) ProgramWeights(lcol int, weights []fixed.Num) {
+	if lcol < 0 || lcol >= c.ALUs() {
+		panic(fmt.Sprintf("reram: logical column %d out of %d", lcol, c.ALUs()))
+	}
+	if len(weights) > c.Rows {
+		panic("reram: more weights than rows")
+	}
+	base := lcol * SlicesPerWeight
+	var sum int64
+	for r := 0; r < c.Rows; r++ {
+		var v uint32
+		if r < len(weights) {
+			v = uint32(int32(weights[r]) + offset) // offset encoding
+			sum += int64(v)
+		}
+		for s := 0; s < SlicesPerWeight; s++ {
+			c.cells[r][base+s] = uint8(v >> (uint(s) * CellBits) & (radix - 1))
+		}
+	}
+	c.weightSum[lcol] = sum
+	c.active[lcol] = len(weights)
+}
+
+// MAC streams the input vector through the DACs and returns the exact
+// signed dot product sum(inputs[r] * weights[r]) as a wide integer,
+// together with the cycle count (8). Inputs beyond the programmed row
+// count must be absent; shorter inputs are zero-extended.
+func (c *Crossbar) MAC(lcol int, inputs []fixed.Num) (int64, int64) {
+	if lcol < 0 || lcol >= c.ALUs() {
+		panic("reram: logical column out of range")
+	}
+	n := c.active[lcol]
+	if len(inputs) > n {
+		panic("reram: more inputs than programmed weights")
+	}
+	base := lcol * SlicesPerWeight
+	// Offset-encode inputs into base-4 digit planes.
+	enc := make([]uint32, n)
+	var inputSum int64
+	for r := 0; r < n; r++ {
+		var a int32
+		if r < len(inputs) {
+			a = int32(inputs[r])
+		}
+		enc[r] = uint32(a + offset)
+		inputSum += int64(enc[r])
+	}
+	// Analog phase: for each of the 8 DAC cycles, every slice bitline
+	// accumulates current = sum_r digit[r] * cell[r][col]; the ADC
+	// digitises it (max 3*3*rows fits comfortably in the ADC range) and
+	// the shift-add unit weighs it by 4^(inputDigit + weightSlice).
+	var acc int64
+	for d := 0; d < digits; d++ {
+		for s := 0; s < SlicesPerWeight; s++ {
+			var current int64
+			col := base + s
+			for r := 0; r < n; r++ {
+				digit := int64(enc[r] >> (uint(d) * DACBits) & (radix - 1))
+				current += digit * int64(c.cells[r][col])
+			}
+			acc += current << (uint(d+s) * DACBits)
+		}
+	}
+	// Digital offset correction:
+	// sum((p-B)(v-B)) = sum(pv) - B*sum(p) - B*sum(v) + B^2*n.
+	dot := acc - offset*inputSum - offset*c.weightSum[lcol] + int64(offset)*int64(offset)*int64(n)
+	return dot, MACCycles
+}
+
+// MACFixed rescales the wide dot product to the package Q format with a
+// single round-to-nearest and saturation at the peripheral output
+// register (in-memory accumulators are wide; only the final result is
+// narrowed).
+func (c *Crossbar) MACFixed(lcol int, inputs []fixed.Num) (fixed.Num, int64) {
+	raw, cycles := c.MAC(lcol, inputs)
+	v := (raw + 1<<(fixed.FracBits-1)) >> fixed.FracBits
+	switch {
+	case v > int64(fixed.MaxNum):
+		v = int64(fixed.MaxNum)
+	case v < int64(fixed.MinNum):
+		v = int64(fixed.MinNum)
+	}
+	return fixed.Num(v), cycles
+}
+
+// WideDot is the integer reference the analog model must match: the
+// exact sum of products of the raw fixed-point bit patterns.
+func WideDot(a, w []fixed.Num) int64 {
+	if len(a) != len(w) {
+		panic("reram: length mismatch")
+	}
+	var s int64
+	for i := range a {
+		s += int64(a[i]) * int64(w[i])
+	}
+	return s
+}

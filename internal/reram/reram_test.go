@@ -1,0 +1,152 @@
+package reram
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mlimp/internal/fixed"
+)
+
+func TestGeometry(t *testing.T) {
+	c := NewCrossbar(128, 128)
+	if c.ALUs() != 16 {
+		t.Errorf("ALUs = %d, want 16 (Table III)", c.ALUs())
+	}
+	for _, f := range []func(){
+		func() { NewCrossbar(0, 128) },
+		func() { NewCrossbar(128, 100) }, // not a multiple of 8 slices
+		func() { c.ProgramWeights(99, nil) },
+		func() { c.ProgramWeights(0, make([]fixed.Num, 500)) },
+		func() { c.MAC(99, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMACSimple(t *testing.T) {
+	c := NewCrossbar(128, 128)
+	w := []fixed.Num{fixed.FromInt(1), fixed.FromInt(2), fixed.FromInt(-3)}
+	a := []fixed.Num{fixed.FromInt(4), fixed.FromInt(5), fixed.FromInt(6)}
+	c.ProgramWeights(0, w)
+	got, cycles := c.MAC(0, a)
+	if want := WideDot(a, w); got != want {
+		t.Errorf("MAC = %d, want %d", got, want)
+	}
+	if cycles != 8 {
+		t.Errorf("cycles = %d, want 8 (Table III)", cycles)
+	}
+	// Fixed-point view: dot of (4,5,6)x(1,2,-3) = 4+10-18 = -4.
+	fx, _ := c.MACFixed(0, a)
+	if fx.Float() != -4 {
+		t.Errorf("MACFixed = %v, want -4", fx.Float())
+	}
+}
+
+func TestMACZeroExtension(t *testing.T) {
+	c := NewCrossbar(128, 128)
+	w := []fixed.Num{fixed.FromInt(1), fixed.FromInt(1), fixed.FromInt(1)}
+	c.ProgramWeights(2, w)
+	got, _ := c.MAC(2, []fixed.Num{fixed.FromInt(7)}) // short input
+	if want := WideDot([]fixed.Num{fixed.FromInt(7), 0, 0}, w); got != want {
+		t.Errorf("zero-extended MAC = %d, want %d", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for too many inputs")
+		}
+	}()
+	c.MAC(2, make([]fixed.Num, 10))
+}
+
+func TestMACFullHeight(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewCrossbar(128, 128)
+	w := make([]fixed.Num, 128)
+	a := make([]fixed.Num, 128)
+	for i := range w {
+		w[i] = fixed.Num(rng.Intn(1<<16) - (1 << 15))
+		a[i] = fixed.Num(rng.Intn(1<<16) - (1 << 15))
+	}
+	c.ProgramWeights(5, w)
+	got, _ := c.MAC(5, a)
+	if want := WideDot(a, w); got != want {
+		t.Errorf("128-operand MAC = %d, want %d (analog model must be bit-exact)", got, want)
+	}
+}
+
+func TestMACFixedSaturates(t *testing.T) {
+	c := NewCrossbar(128, 128)
+	w := make([]fixed.Num, 128)
+	a := make([]fixed.Num, 128)
+	for i := range w {
+		w[i], a[i] = fixed.MaxNum, fixed.MaxNum
+	}
+	c.ProgramWeights(0, w)
+	fx, _ := c.MACFixed(0, a)
+	if fx != fixed.MaxNum {
+		t.Errorf("saturating MACFixed = %d", fx)
+	}
+	for i := range a {
+		a[i] = fixed.MinNum
+	}
+	fx, _ = c.MACFixed(0, a)
+	if fx != fixed.MinNum {
+		t.Errorf("negative saturating MACFixed = %d", fx)
+	}
+}
+
+func TestReprogramming(t *testing.T) {
+	c := NewCrossbar(128, 128)
+	c.ProgramWeights(3, []fixed.Num{fixed.FromInt(9), fixed.FromInt(9)})
+	c.ProgramWeights(3, []fixed.Num{fixed.FromInt(2)})
+	got, _ := c.MAC(3, []fixed.Num{fixed.FromInt(3)})
+	if want := int64(fixed.FromInt(3)) * int64(fixed.FromInt(2)); got != want {
+		t.Errorf("after reprogram MAC = %d, want %d", got, want)
+	}
+}
+
+func TestIndependentColumns(t *testing.T) {
+	c := NewCrossbar(128, 128)
+	for l := 0; l < c.ALUs(); l++ {
+		c.ProgramWeights(l, []fixed.Num{fixed.FromInt(l + 1)})
+	}
+	in := []fixed.Num{fixed.FromInt(2)}
+	for l := 0; l < c.ALUs(); l++ {
+		got, _ := c.MAC(l, in)
+		want := int64(fixed.FromInt(2)) * int64(fixed.FromInt(l+1))
+		if got != want {
+			t.Errorf("col %d: %d want %d", l, got, want)
+		}
+	}
+}
+
+// Property: the analog bit-sliced MAC with offset correction is exact
+// for arbitrary signed operands and lengths.
+func TestAnalogMACExactProperty(t *testing.T) {
+	c := NewCrossbar(128, 128)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(128)
+		w := make([]fixed.Num, n)
+		a := make([]fixed.Num, n)
+		for i := range w {
+			w[i] = fixed.Num(rng.Intn(1<<16) - (1 << 15))
+			a[i] = fixed.Num(rng.Intn(1<<16) - (1 << 15))
+		}
+		lcol := rng.Intn(c.ALUs())
+		c.ProgramWeights(lcol, w)
+		got, _ := c.MAC(lcol, a)
+		return got == WideDot(a, w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,129 @@
+// Package runtime is the online execution layer of MLIMP: batches of
+// jobs arrive over simulated time (the paper's runtime flow — "a call to
+// a function that has been explicitly marked for in-memory processing
+// triggers the MLIMP scheduler", Section III-A), queue at the system,
+// and are scheduled batch by batch. Built on the deterministic event
+// engine, it turns the batch-level scheduler into a serving simulation
+// with arrival-to-completion latency distributions — the view an
+// inference service operator cares about.
+package runtime
+
+import (
+	"fmt"
+
+	"mlimp/internal/event"
+	"mlimp/internal/sched"
+	"mlimp/internal/stats"
+)
+
+// Batch is one arriving unit of work.
+type Batch struct {
+	ID      int
+	Arrival event.Time
+	Jobs    []*sched.Job
+}
+
+// BatchResult records one batch's life cycle.
+type BatchResult struct {
+	ID        int
+	Arrival   event.Time
+	Start     event.Time // when the scheduler picked it up
+	Completed event.Time
+}
+
+// Latency is the arrival-to-completion time.
+func (b BatchResult) Latency() event.Time { return b.Completed - b.Arrival }
+
+// QueueDelay is the time spent waiting behind earlier batches.
+func (b BatchResult) QueueDelay() event.Time { return b.Start - b.Arrival }
+
+// Runtime executes an arrival stream on one MLIMP system.
+type Runtime struct {
+	Sys       *sched.System
+	Scheduler sched.Scheduler
+
+	eng     event.Engine
+	queue   []*Batch
+	busy    bool
+	results []BatchResult
+}
+
+// New builds a runtime over the given system and scheduler.
+func New(sys *sched.System, scheduler sched.Scheduler) *Runtime {
+	if sys == nil || scheduler == nil {
+		panic("runtime: nil system or scheduler")
+	}
+	return &Runtime{Sys: sys, Scheduler: scheduler}
+}
+
+// Submit registers a batch arrival. Must be called before Run; arrivals
+// may be submitted in any order.
+func (r *Runtime) Submit(b *Batch) {
+	if len(b.Jobs) == 0 {
+		panic("runtime: empty batch")
+	}
+	r.eng.At(b.Arrival, func() { r.arrive(b) })
+}
+
+func (r *Runtime) arrive(b *Batch) {
+	r.queue = append(r.queue, b)
+	r.pump()
+}
+
+// pump starts the next queued batch when the system is free. Batches
+// run one at a time at batch granularity (each batch's jobs are spread
+// across all layers by the scheduler; overlapping whole batches would
+// double-book the arrays the scheduler just planned with).
+func (r *Runtime) pump() {
+	if r.busy || len(r.queue) == 0 {
+		return
+	}
+	b := r.queue[0]
+	r.queue = r.queue[1:]
+	r.busy = true
+	start := r.eng.Now()
+	res := r.Scheduler.Schedule(r.Sys, b.Jobs)
+	r.eng.After(res.Makespan, func() {
+		r.results = append(r.results, BatchResult{
+			ID: b.ID, Arrival: b.Arrival, Start: start, Completed: r.eng.Now(),
+		})
+		r.busy = false
+		r.pump()
+	})
+}
+
+// Summary aggregates a completed run.
+type Summary struct {
+	Batches   int
+	Makespan  event.Time // completion of the last batch
+	MeanLatMs float64
+	P50LatMs  float64
+	P99LatMs  float64
+	MeanQueMs float64
+	Results   []BatchResult
+}
+
+// String renders the headline serving metrics.
+func (s Summary) String() string {
+	return fmt.Sprintf("runtime(batches=%d makespan=%.3fms latency mean=%.3f p50=%.3f p99=%.3f queue=%.3fms)",
+		s.Batches, s.Makespan.Millis(), s.MeanLatMs, s.P50LatMs, s.P99LatMs, s.MeanQueMs)
+}
+
+// Run drains all submitted arrivals and returns the serving summary.
+func (r *Runtime) Run() Summary {
+	end := r.eng.Run()
+	var lats, queues []float64
+	for _, b := range r.results {
+		lats = append(lats, b.Latency().Millis())
+		queues = append(queues, b.QueueDelay().Millis())
+	}
+	return Summary{
+		Batches:   len(r.results),
+		Makespan:  end,
+		MeanLatMs: stats.Mean(lats),
+		P50LatMs:  stats.Percentile(lats, 50),
+		P99LatMs:  stats.Percentile(lats, 99),
+		MeanQueMs: stats.Mean(queues),
+		Results:   r.results,
+	}
+}

@@ -1,0 +1,140 @@
+package runtime
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mlimp/internal/event"
+	"mlimp/internal/isa"
+	"mlimp/internal/sched"
+)
+
+func mkJob(id int, ms float64) *sched.Job {
+	est := map[isa.Target]sched.Profile{}
+	for _, t := range isa.Targets {
+		freq := map[isa.Target]float64{isa.SRAM: 2500, isa.DRAM: 300, isa.ReRAM: 20}[t]
+		est[t] = sched.Profile{
+			UnitCycles: int64(ms * freq * 1000),
+			RepUnit:    8, LoadBytes: 1 << 16, Beta: sched.DefaultBeta,
+		}
+	}
+	return &sched.Job{ID: id, Name: "rt", Kind: "rt", Est: est}
+}
+
+func mkBatch(id int, at event.Time, n int, rng *rand.Rand) *Batch {
+	jobs := make([]*sched.Job, n)
+	for i := range jobs {
+		jobs[i] = mkJob(id*100+i, 0.05+rng.Float64()*0.2)
+	}
+	return &Batch{ID: id, Arrival: at, Jobs: jobs}
+}
+
+func TestSingleBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	r := New(sched.NewSystem(isa.Targets...), sched.NewGlobal())
+	r.Submit(mkBatch(0, 0, 8, rng))
+	s := r.Run()
+	if s.Batches != 1 {
+		t.Fatalf("batches = %d", s.Batches)
+	}
+	if s.Results[0].QueueDelay() != 0 {
+		t.Error("first batch should not queue")
+	}
+	if s.Makespan <= 0 || s.MeanLatMs <= 0 {
+		t.Errorf("summary = %v", s)
+	}
+	if !strings.Contains(s.String(), "batches=1") {
+		t.Errorf("render = %q", s)
+	}
+}
+
+func TestBackToBackArrivalsQueue(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	r := New(sched.NewSystem(isa.Targets...), sched.NewGlobal())
+	// Three batches arriving at t=0: the second and third must wait.
+	for i := 0; i < 3; i++ {
+		r.Submit(mkBatch(i, 0, 8, rng))
+	}
+	s := r.Run()
+	if s.Batches != 3 {
+		t.Fatalf("batches = %d", s.Batches)
+	}
+	if s.Results[0].QueueDelay() != 0 {
+		t.Error("head batch should start immediately")
+	}
+	if s.Results[1].QueueDelay() <= 0 || s.Results[2].QueueDelay() <= s.Results[1].QueueDelay() {
+		t.Errorf("queue delays not increasing: %v, %v",
+			s.Results[1].QueueDelay(), s.Results[2].QueueDelay())
+	}
+	// FIFO order.
+	for i, b := range s.Results {
+		if b.ID != i {
+			t.Errorf("completion order broke FIFO: %v", s.Results)
+		}
+	}
+}
+
+func TestSparseArrivalsDoNotQueue(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	r := New(sched.NewSystem(isa.Targets...), sched.NewGlobal())
+	// Arrivals a full second apart cannot contend.
+	for i := 0; i < 3; i++ {
+		r.Submit(mkBatch(i, event.Time(i)*event.Second, 4, rng))
+	}
+	s := r.Run()
+	if s.MeanQueMs != 0 {
+		t.Errorf("sparse arrivals queued: %v", s.MeanQueMs)
+	}
+}
+
+func TestLatencyGrowsWithLoad(t *testing.T) {
+	run := func(gapMs float64) float64 {
+		rng := rand.New(rand.NewSource(4))
+		r := New(sched.NewSystem(isa.Targets...), sched.NewGlobal())
+		for i := 0; i < 8; i++ {
+			at := event.Time(float64(i) * gapMs * float64(event.Millisecond))
+			r.Submit(mkBatch(i, at, 8, rng))
+		}
+		return r.Run().P99LatMs
+	}
+	relaxed := run(50)
+	loaded := run(0.01)
+	if loaded <= relaxed {
+		t.Errorf("p99 under load (%v) should exceed relaxed (%v)", loaded, relaxed)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { New(nil, sched.NewGlobal()) },
+		func() { New(sched.NewSystem(isa.SRAM), nil) },
+		func() {
+			r := New(sched.NewSystem(isa.SRAM), sched.NewGlobal())
+			r.Submit(&Batch{ID: 0, Arrival: 0})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() event.Time {
+		rng := rand.New(rand.NewSource(5))
+		r := New(sched.NewSystem(isa.Targets...), sched.NewAdaptive())
+		for i := 0; i < 5; i++ {
+			r.Submit(mkBatch(i, event.Time(i)*event.Millisecond, 6, rng))
+		}
+		return r.Run().Makespan
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("nondeterministic runtime: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,195 @@
+package sched
+
+import (
+	"math"
+	"sort"
+
+	"mlimp/internal/isa"
+)
+
+// Global is the global scheduler of Section III-C5: on top of the
+// adaptive partition and inter-queue balancing it applies the
+// intra-queue adjustment of Algorithm 2 — trading allocation from the
+// smallest jobs to the longest so every job finishes near the queue
+// mean — and then commits to the complete dispatching schedule computed
+// in advance (no opportunistic re-planning, which is why its advantage
+// inverts under a noisy predictor).
+type Global struct {
+	Opts Opts
+}
+
+// NewGlobal returns a global scheduler with default options.
+func NewGlobal() *Global { return &Global{Opts: DefaultOpts()} }
+
+// Name implements Scheduler.
+func (g *Global) Name() string { return "global" }
+
+// Schedule implements Scheduler.
+func (g *Global) Schedule(sys *System, jobs []*Job) *Result {
+	qs := partition(sys, jobs)
+	interQueueAdjust(sys, qs, g.Opts)
+	for _, t := range sys.Targets() {
+		intraQueueAdjust(sys, t, qs[t], g.Opts)
+	}
+	// Plan the complete dispatching schedule in advance against the
+	// estimates, then execute it rigidly: per-layer order and
+	// allocations are fixed, so bubbles appear exactly when the
+	// estimates were wrong (the Section V-B3 noise sensitivity).
+	plan := dispatchEst(sys, qs)
+	return executePlan(sys, plan)
+}
+
+// dispatchEst simulates the greedy dispatch entirely on estimated times
+// and returns the per-layer planned order.
+func dispatchEst(sys *System, qs queues) map[isa.Target][]*queueItem {
+	// Copy the queues: dispatch consumes them.
+	cp := queues{}
+	for _, t := range sys.Targets() {
+		for _, it := range qs[t] {
+			cp[t] = append(cp[t], &queueItem{job: it.job, arrays: it.arrays})
+		}
+	}
+	res := dispatchWith(sys, cp, dispatchOpts{expand: true, estMode: true})
+	plan := map[isa.Target][]*queueItem{}
+	for _, a := range res.Assignments {
+		plan[a.Target] = append(plan[a.Target], &queueItem{job: a.Job, arrays: a.Arrays})
+	}
+	// Assignments are completion-ordered; re-order by planned start.
+	starts := map[int]int64{}
+	for _, a := range res.Assignments {
+		starts[a.Job.ID] = int64(a.Start)
+	}
+	for _, q := range plan {
+		sortItemsByKey(q, starts)
+	}
+	return plan
+}
+
+func sortItemsByKey(q []*queueItem, key map[int]int64) {
+	sort.SliceStable(q, func(i, j int) bool { return key[q[i].job.ID] < key[q[j].job.ID] })
+}
+
+// executePlan runs the fixed plan with actual job durations, starting
+// each layer's jobs strictly in planned order.
+func executePlan(sys *System, plan map[isa.Target][]*queueItem) *Result {
+	st := newSim(sys)
+	pending := 0
+	for _, q := range plan {
+		pending += len(q)
+	}
+	for pending > 0 || st.flying.Len() > 0 {
+		for _, t := range sys.Targets() { // canonical order: determinism
+			q := plan[t]
+			for len(q) > 0 {
+				head := q[0]
+				arrays := clampAlloc(sys, t, head.arrays)
+				if !st.canPlace(t, arrays) {
+					break
+				}
+				st.place(head.job, t, arrays)
+				q = q[1:]
+				pending--
+			}
+			plan[t] = q
+		}
+		if !st.advance() && pending > 0 {
+			panic("sched: plan execution deadlock")
+		}
+	}
+	return st.result
+}
+
+// invAllocForTime returns the smallest allocation m that brings job j's
+// modelled time on t at or below target — t_max^{-1}(mean_t) of
+// Algorithm 2 — found by bisection on the monotone model, capped at the
+// layer capacity.
+func invAllocForTime(sys *System, j *Job, t isa.Target, target float64) int {
+	lo, hi := 1, usefulCap(j, t, sys.Layers[t].Capacity)
+	if float64(sys.ModelTime(j, t, hi)) > target {
+		return hi // unreachable even at full capacity
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if float64(sys.ModelTime(j, t, mid)) <= target {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// intraQueueAdjust is Algorithm 2 applied to one queue.
+func intraQueueAdjust(sys *System, t isa.Target, q []*queueItem, o Opts) {
+	if len(q) < 2 {
+		return
+	}
+	for iter := 0; iter < o.MaxAdjust; iter++ {
+		// Sort by t(x, z(x)) — current estimated time at planned alloc.
+		sort.SliceStable(q, func(a, b int) bool {
+			return sys.ModelTime(q[a].job, t, q[a].arrays) < sys.ModelTime(q[b].job, t, q[b].arrays)
+		})
+		minItem, maxItem := q[0], q[len(q)-1]
+		maxT := float64(sys.ModelTime(maxItem.job, t, maxItem.arrays))
+		mean := itemMean(sys, t, q)
+		if maxT == 0 || (maxT-mean)/maxT <= o.Epsilon {
+			return
+		}
+		want := invAllocForTime(sys, maxItem.job, t, mean)
+		swapCnt := want - maxItem.arrays
+		// The donor may only give resources down to the point where it
+		// would itself exceed the mean (and never below MinArrays) —
+		// otherwise the smallest job just becomes the new tail.
+		donorFloor := invAllocForTime(sys, minItem.job, t, mean)
+		if donorFloor < o.MinArrays {
+			donorFloor = o.MinArrays
+		}
+		if avail := minItem.arrays - donorFloor; swapCnt > avail {
+			swapCnt = avail
+		}
+		if swapCnt <= 0 {
+			return // the smallest job is already at its floor
+		}
+		minItem.arrays -= swapCnt
+		maxItem.arrays += swapCnt
+	}
+}
+
+// OracleThroughput returns the perfect-balance upper bound of Figure 16:
+// the sum of each layer's standalone throughput on the batch, i.e. the
+// job rate achievable if work could be split so all memories finish
+// together.
+func OracleThroughput(sys *System, jobs []*Job) float64 {
+	var total float64
+	for _, t := range sys.Targets() {
+		single := &System{Layers: map[isa.Target]*Layer{t: sys.Layers[t]}, DDR: sys.DDR}
+		runnable := jobs[:0:0]
+		for _, j := range jobs {
+			if _, ok := j.Est[t]; ok {
+				runnable = append(runnable, j)
+			}
+		}
+		if len(runnable) == 0 {
+			continue
+		}
+		// The per-layer bound is the best any scheduler achieves on
+		// that layer alone.
+		best := 0.0
+		for _, sc := range []Scheduler{NewGlobal(), NewAdaptive(), LJF{}} {
+			if thr := sc.Schedule(single, runnable).Throughput(); thr > best {
+				best = thr
+			}
+		}
+		total += best
+	}
+	return total
+}
+
+// OracleFraction returns result throughput as a fraction of the oracle.
+func OracleFraction(sys *System, jobs []*Job, res *Result) float64 {
+	o := OracleThroughput(sys, jobs)
+	if o == 0 {
+		return math.NaN()
+	}
+	return res.Throughput() / o
+}

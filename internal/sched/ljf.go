@@ -1,0 +1,117 @@
+package sched
+
+import (
+	"math"
+
+	"mlimp/internal/event"
+	"mlimp/internal/isa"
+)
+
+// LJF is the Longest-Job-First baseline of Section III-C2: one queue in
+// descending order of the (shortest per-memory) estimated time, a fixed
+// allocation a_unit = capacity / P per layer, and head-of-queue dispatch
+// to the best-performing memory.
+//
+// Strict selects the Figure 16 "naive" variant that always waits for the
+// globally best memory; the default dispatches to the best *available*
+// memory when the best one is saturated.
+type LJF struct {
+	Strict bool
+}
+
+// Name implements Scheduler.
+func (l LJF) Name() string {
+	if l.Strict {
+		return "naive-ljf"
+	}
+	return "ljf"
+}
+
+// aUnit returns the fixed LJF allocation for a layer: max_size / P.
+func aUnit(sys *System, t isa.Target) int {
+	layer := sys.Layers[t]
+	u := layer.Capacity / layer.Slots
+	if u < 1 {
+		u = 1
+	}
+	return u
+}
+
+// estAtUnit returns the estimated time of j on t at the fixed unit
+// allocation.
+func estAtUnit(sys *System, j *Job, t isa.Target) event.Time {
+	if _, ok := j.Est[t]; !ok {
+		return math.MaxInt64
+	}
+	return sys.ModelTime(j, t, aUnit(sys, t))
+}
+
+// Schedule implements Scheduler.
+func (l LJF) Schedule(sys *System, jobs []*Job) *Result {
+	st := newSim(sys)
+	// Single queue, descending estimated time (the descending order of
+	// the shortest execution time across memories).
+	queue := make([]*Job, len(jobs))
+	copy(queue, jobs)
+	best := map[int]isa.Target{}
+	estKey := map[int]event.Time{}
+	for _, j := range queue {
+		bt, bv := isa.Target(0), event.Time(math.MaxInt64)
+		for _, t := range sys.Targets() {
+			if v := estAtUnit(sys, j, t); v < bv {
+				bv, bt = v, t
+			}
+		}
+		best[j.ID] = bt
+		estKey[j.ID] = bv
+	}
+	sortStableByKeyDesc(queue, estKey)
+
+	for len(queue) > 0 || st.flying.Len() > 0 {
+		progressed := true
+		for progressed && len(queue) > 0 {
+			progressed = false
+			j := queue[0]
+			if t, ok := l.pick(sys, st, j, best[j.ID]); ok {
+				st.place(j, t, aUnit(sys, t))
+				queue = queue[1:]
+				progressed = true
+			}
+		}
+		if !st.advance() && len(queue) > 0 {
+			panic("sched: ljf deadlock") // cannot happen: aUnit always fits an idle layer
+		}
+	}
+	return st.result
+}
+
+// pick chooses where to run the head job now, if anywhere.
+func (l LJF) pick(sys *System, st *simState, j *Job, bestT isa.Target) (isa.Target, bool) {
+	if st.canPlace(bestT, aUnit(sys, bestT)) {
+		return bestT, true
+	}
+	if l.Strict {
+		return 0, false // naive: wait for the best memory
+	}
+	bv := event.Time(math.MaxInt64)
+	var bt isa.Target
+	found := false
+	for _, t := range sys.Targets() {
+		if !st.canPlace(t, aUnit(sys, t)) {
+			continue
+		}
+		if v := estAtUnit(sys, j, t); v < bv {
+			bv, bt, found = v, t, true
+		}
+	}
+	return bt, found
+}
+
+func sortStableByKeyDesc(jobs []*Job, key map[int]event.Time) {
+	// Insertion-stable sort on the precomputed key.
+	for i := 1; i < len(jobs); i++ {
+		for k := i; k > 0 && key[jobs[k].ID] > key[jobs[k-1].ID]; k-- {
+			jobs[k], jobs[k-1] = jobs[k-1], jobs[k]
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+
+	"mlimp/internal/event"
+	"mlimp/internal/isa"
+)
+
+// Assignment records one job's placement in a schedule.
+type Assignment struct {
+	Job    *Job
+	Target isa.Target
+	Arrays int
+	Start  event.Time
+	End    event.Time
+}
+
+// Result is the outcome of scheduling and simulating a batch.
+type Result struct {
+	Makespan    event.Time
+	Assignments []Assignment
+	// BusyTime accumulates job-occupancy time per layer (a utilisation
+	// proxy: busy slot-time, not array-time).
+	BusyTime map[isa.Target]event.Time
+}
+
+// Throughput returns completed jobs per second.
+func (r *Result) Throughput() float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return float64(len(r.Assignments)) / r.Makespan.Seconds()
+}
+
+// String summarises the result.
+func (r *Result) String() string {
+	return fmt.Sprintf("result(jobs=%d makespan=%.3fms)", len(r.Assignments), r.Makespan.Millis())
+}
+
+// Scheduler maps a batch of jobs onto the system and returns the
+// simulated outcome.
+type Scheduler interface {
+	Name() string
+	Schedule(sys *System, jobs []*Job) *Result
+}
+
+// --- shared event-driven execution state ---
+
+type flight struct {
+	job    *Job
+	target isa.Target
+	arrays int
+	start  event.Time
+	end    event.Time
+	estEnd event.Time // start + estimated duration (scheduler belief)
+}
+
+type flightHeap []flight
+
+func (h flightHeap) Len() int           { return len(h) }
+func (h flightHeap) Less(i, j int) bool { return h[i].end < h[j].end }
+func (h flightHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *flightHeap) Push(x any)        { *h = append(*h, x.(flight)) }
+func (h *flightHeap) Pop() any          { o := *h; n := len(o); f := o[n-1]; *h = o[:n-1]; return f }
+
+// simState tracks resource occupancy during schedule execution. With
+// estMode set, placements are charged their estimated (model) time
+// instead of the actual time — used by the global scheduler's planning
+// pass.
+type simState struct {
+	sys     *System
+	now     event.Time
+	free    map[isa.Target]int
+	slots   map[isa.Target]int
+	flying  flightHeap
+	result  *Result
+	estMode bool
+}
+
+func newSim(sys *System) *simState {
+	st := &simState{
+		sys:   sys,
+		free:  map[isa.Target]int{},
+		slots: map[isa.Target]int{},
+		result: &Result{
+			BusyTime: map[isa.Target]event.Time{},
+		},
+	}
+	for t, l := range sys.Layers {
+		st.free[t] = l.Capacity
+		st.slots[t] = l.Slots
+	}
+	return st
+}
+
+// canPlace reports whether target t can accept a job with the given
+// allocation right now.
+func (st *simState) canPlace(t isa.Target, arrays int) bool {
+	return arrays > 0 && st.slots[t] > 0 && st.free[t] >= arrays
+}
+
+// place starts a job on t with the given allocation, charging its
+// simulated (true) execution time.
+func (st *simState) place(j *Job, t isa.Target, arrays int) {
+	if !st.canPlace(t, arrays) {
+		panic(fmt.Sprintf("sched: cannot place %v on %s with %d arrays", j, t, arrays))
+	}
+	dur := st.sys.ActualTime(j, t, arrays)
+	if st.estMode {
+		dur = st.sys.ModelTime(j, t, arrays)
+	}
+	st.free[t] -= arrays
+	st.slots[t]--
+	heap.Push(&st.flying, flight{job: j, target: t, arrays: arrays,
+		start: st.now, end: st.now + dur, estEnd: st.now + st.sys.ModelTime(j, t, arrays)})
+}
+
+// advance pops the earliest completion, frees its resources, records the
+// assignment, and returns true; false when nothing is in flight.
+func (st *simState) advance() bool {
+	if st.flying.Len() == 0 {
+		return false
+	}
+	f := heap.Pop(&st.flying).(flight)
+	st.now = f.end
+	st.free[f.target] += f.arrays
+	st.slots[f.target]++
+	st.result.Assignments = append(st.result.Assignments, Assignment{
+		Job: f.job, Target: f.target, Arrays: f.arrays, Start: f.start, End: f.end,
+	})
+	st.result.BusyTime[f.target] += f.end - f.start
+	if f.end > st.result.Makespan {
+		st.result.Makespan = f.end
+	}
+	return true
+}
+
+// earliestEnd returns the soonest completion time on layer t, or zero
+// time and false when the layer is idle.
+func (st *simState) earliestEnd(t isa.Target) (event.Time, bool) {
+	best := event.Time(0)
+	found := false
+	for _, f := range st.flying {
+		if f.target == t && (!found || f.end < best) {
+			best = f.end
+			found = true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,202 @@
+package sram
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mlimp/internal/dfg"
+	"mlimp/internal/fixed"
+	"mlimp/internal/isa"
+)
+
+func fill(rng *rand.Rand, n int) []fixed.Num {
+	out := make([]fixed.Num, n)
+	for i := range out {
+		out[i] = fixed.Num(rng.Intn(1<<16) - (1 << 15))
+	}
+	return out
+}
+
+func TestStoreLoadRoundTrip(t *testing.T) {
+	a := NewArray(256, 256)
+	rng := rand.New(rand.NewSource(1))
+	v := fill(rng, 256)
+	a.StoreVector(3, v)
+	got := a.LoadVector(3, 256)
+	for i := range v {
+		if got[i] != v[i] {
+			t.Fatalf("lane %d: got %d want %d", i, got[i], v[i])
+		}
+	}
+}
+
+func TestArrayGeometry(t *testing.T) {
+	a := NewArray(256, 128)
+	if a.Slots() != 16 {
+		t.Errorf("Slots = %d", a.Slots())
+	}
+	for _, f := range []func(){
+		func() { NewArray(100, 10) }, // not a multiple of 16
+		func() { NewArray(0, 10) },
+		func() { a.StoreVector(99, nil) },
+		func() { a.StoreVector(0, make([]fixed.Num, 500)) },
+		func() { a.LoadVector(0, 500) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// checkBinary runs an array op against its fixed-point reference on
+// random vectors, including saturation edge values.
+func checkBinary(t *testing.T, name string,
+	op func(a *Array, dst, x, y int) int64,
+	ref func(x, y fixed.Num) fixed.Num, wantCycles int64) {
+	t.Helper()
+	a := NewArray(256, 256)
+	rng := rand.New(rand.NewSource(42))
+	xs, ys := fill(rng, 256), fill(rng, 256)
+	// Plant saturation edge cases in the first lanes.
+	edge := []fixed.Num{fixed.MaxNum, fixed.MinNum, -1, 0, 1, fixed.MaxNum, fixed.MinNum}
+	copy(xs, edge)
+	copy(ys, []fixed.Num{fixed.MaxNum, fixed.MinNum, fixed.MinNum, 0, -1, 1, fixed.MaxNum})
+	a.StoreVector(0, xs)
+	a.StoreVector(1, ys)
+	cycles := op(a, 2, 0, 1)
+	if cycles != wantCycles {
+		t.Errorf("%s cycles = %d, want %d", name, cycles, wantCycles)
+	}
+	got := a.LoadVector(2, 256)
+	for i := range xs {
+		if want := ref(xs[i], ys[i]); got[i] != want {
+			t.Errorf("%s lane %d: %d op %d = %d, want %d", name, i, xs[i], ys[i], got[i], want)
+		}
+	}
+}
+
+func TestAddMatchesFixed(t *testing.T) {
+	checkBinary(t, "add", (*Array).Add, fixed.Add, 16)
+}
+
+func TestSubMatchesFixed(t *testing.T) {
+	checkBinary(t, "sub", (*Array).Sub, fixed.Sub, 18)
+}
+
+func TestMulMatchesFixed(t *testing.T) {
+	checkBinary(t, "mul", (*Array).Mul, fixed.Mul, 302)
+}
+
+func TestLogicOps(t *testing.T) {
+	checkBinary(t, "and", (*Array).And, func(x, y fixed.Num) fixed.Num { return x & y }, 17)
+	checkBinary(t, "or", (*Array).Or, func(x, y fixed.Num) fixed.Num { return x | y }, 17)
+	checkBinary(t, "xor", (*Array).Xor, func(x, y fixed.Num) fixed.Num { return x ^ y }, 17)
+}
+
+func TestCmpLT(t *testing.T) {
+	checkBinary(t, "cmplt", (*Array).CmpLT, func(x, y fixed.Num) fixed.Num {
+		if x < y {
+			return 1
+		}
+		return 0
+	}, 17)
+}
+
+func TestNotAndCopy(t *testing.T) {
+	a := NewArray(256, 8)
+	v := []fixed.Num{0, -1, 1, 1234, -1234, fixed.MaxNum, fixed.MinNum, 7}
+	a.StoreVector(0, v)
+	if c := a.Not(1, 0); c != 16 {
+		t.Errorf("not cycles = %d", c)
+	}
+	got := a.LoadVector(1, 8)
+	for i := range v {
+		if got[i] != ^v[i] {
+			t.Errorf("not lane %d wrong", i)
+		}
+	}
+	if c := a.Copy(2, 0); c != 16 {
+		t.Errorf("copy cycles = %d", c)
+	}
+	got = a.LoadVector(2, 8)
+	for i := range v {
+		if got[i] != v[i] {
+			t.Errorf("copy lane %d wrong", i)
+		}
+	}
+}
+
+func TestReduceAdd(t *testing.T) {
+	a := NewArray(256, 256)
+	vals := make([]fixed.Num, 256)
+	for i := range vals {
+		vals[i] = fixed.FromInt(1)
+	}
+	a.StoreVector(0, vals)
+	sum, cycles := a.ReduceAdd(0, 256)
+	if sum != fixed.FromInt(256) {
+		t.Errorf("sum = %v", sum.Float())
+	}
+	if cycles != 8*2*16 { // log2(256)=8 stages
+		t.Errorf("reduce cycles = %d", cycles)
+	}
+}
+
+// The functional model's cycle counts must agree with the static ISA
+// cost model the scheduler uses — otherwise predicted and simulated
+// times diverge by construction.
+func TestCyclesMatchISACostModel(t *testing.T) {
+	m := isa.Models(isa.SRAM)
+	a := NewArray(256, 16)
+	a.StoreVector(0, fill(rand.New(rand.NewSource(2)), 16))
+	a.StoreVector(1, fill(rand.New(rand.NewSource(3)), 16))
+	cases := []struct {
+		op  dfg.Op
+		got int64
+	}{
+		{dfg.OpAdd, a.Add(2, 0, 1)},
+		{dfg.OpSub, a.Sub(2, 0, 1)},
+		{dfg.OpMul, a.Mul(2, 0, 1)},
+		{dfg.OpAnd, a.And(2, 0, 1)},
+		{dfg.OpOr, a.Or(2, 0, 1)},
+		{dfg.OpXor, a.Xor(2, 0, 1)},
+		{dfg.OpCmpLT, a.CmpLT(2, 0, 1)},
+		{dfg.OpNot, a.Not(2, 0)},
+		{dfg.OpMov, a.Copy(2, 0)},
+	}
+	for _, c := range cases {
+		if want := m.OpCycles(c.op, 1); c.got != want {
+			t.Errorf("%s: array model %d cycles, ISA model %d", c.op, c.got, want)
+		}
+	}
+}
+
+// Property: bit-serial add/sub/mul match the fixed-point reference for
+// arbitrary operands.
+func TestBitSerialMatchesReferenceProperty(t *testing.T) {
+	a := NewArray(256, 1)
+	f := func(x, y int16) bool {
+		xs, ys := []fixed.Num{fixed.Num(x)}, []fixed.Num{fixed.Num(y)}
+		a.StoreVector(0, xs)
+		a.StoreVector(1, ys)
+		a.Add(2, 0, 1)
+		if a.LoadVector(2, 1)[0] != fixed.Add(xs[0], ys[0]) {
+			return false
+		}
+		a.Sub(2, 0, 1)
+		if a.LoadVector(2, 1)[0] != fixed.Sub(xs[0], ys[0]) {
+			return false
+		}
+		a.Mul(2, 0, 1)
+		return a.LoadVector(2, 1)[0] == fixed.Mul(xs[0], ys[0])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,233 @@
+// Package stats provides the statistics toolkit used across MLIMP: fit
+// quality metrics for the performance predictor (R², RMSE), distribution
+// summaries for the experiment harness (percentiles, box-chart stats,
+// histograms), and aggregate speedup helpers (geometric mean).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 for fewer than two
+// samples.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// GeoMean returns the geometric mean of xs. All values must be positive;
+// non-positive values are skipped so a single degenerate sample cannot
+// poison an aggregate speedup.
+func GeoMean(xs []float64) float64 {
+	var logSum float64
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			logSum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// R2 returns the coefficient of determination of predictions against
+// observations. A perfect predictor scores 1; predicting the mean scores 0.
+func R2(observed, predicted []float64) float64 {
+	if len(observed) != len(predicted) || len(observed) == 0 {
+		return math.NaN()
+	}
+	m := Mean(observed)
+	var ssRes, ssTot float64
+	for i := range observed {
+		r := observed[i] - predicted[i]
+		ssRes += r * r
+		d := observed[i] - m
+		ssTot += d * d
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return math.NaN()
+	}
+	return 1 - ssRes/ssTot
+}
+
+// RMSE returns the root-mean-square error of predictions against
+// observations.
+func RMSE(observed, predicted []float64) float64 {
+	if len(observed) != len(predicted) || len(observed) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for i := range observed {
+		r := observed[i] - predicted[i]
+		s += r * r
+	}
+	return math.Sqrt(s / float64(len(observed)))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// linear interpolation between closest ranks. It does not modify xs.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Box summarises a distribution the way the paper's box charts do
+// (Figure 11): min/max whiskers plus quartiles and mean.
+type Box struct {
+	Min, Q1, Median, Q3, Max, Mean float64
+	N                              int
+}
+
+// BoxStats computes box-chart statistics for xs.
+func BoxStats(xs []float64) Box {
+	return Box{
+		Min:    Percentile(xs, 0),
+		Q1:     Percentile(xs, 25),
+		Median: Percentile(xs, 50),
+		Q3:     Percentile(xs, 75),
+		Max:    Percentile(xs, 100),
+		Mean:   Mean(xs),
+		N:      len(xs),
+	}
+}
+
+// String renders the box summary as a single report line.
+func (b Box) String() string {
+	return fmt.Sprintf("n=%d min=%.3g q1=%.3g med=%.3g q3=%.3g max=%.3g mean=%.3g",
+		b.N, b.Min, b.Q1, b.Median, b.Q3, b.Max, b.Mean)
+}
+
+// Histogram is a fixed-width binned count of samples, used to reproduce
+// the subgraph size distribution of Figure 5.
+type Histogram struct {
+	Lo, Hi float64 // range covered; samples outside clamp to edge bins
+	Counts []int
+}
+
+// NewHistogram builds a histogram with bins equal-width bins over [lo, hi].
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic("stats: invalid histogram parameters")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	bins := len(h.Counts)
+	idx := int(float64(bins) * (x - h.Lo) / (h.Hi - h.Lo))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= bins {
+		idx = bins - 1
+	}
+	h.Counts[idx]++
+}
+
+// Total returns the number of recorded samples.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// BinCenter returns the centre value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// Render draws the histogram as ASCII rows "center count |####".
+func (h *Histogram) Render(width int) string {
+	maxC := 0
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var sb strings.Builder
+	for i, c := range h.Counts {
+		bar := 0
+		if maxC > 0 {
+			bar = c * width / maxC
+		}
+		fmt.Fprintf(&sb, "%12.1f %6d |%s\n", h.BinCenter(i), c, strings.Repeat("#", bar))
+	}
+	return sb.String()
+}
+
+// LinearFit fits y = a + b*x by ordinary least squares and returns the
+// intercept a and slope b. Used to fit the log-log scale-free model.
+func LinearFit(x, y []float64) (a, b float64) {
+	if len(x) != len(y) || len(x) < 2 {
+		return math.NaN(), math.NaN()
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxx, sxy float64
+	for i := range x {
+		dx := x[i] - mx
+		sxx += dx * dx
+		sxy += dx * (y[i] - my)
+	}
+	if sxx == 0 {
+		return my, 0
+	}
+	b = sxy / sxx
+	a = my - b*mx
+	return a, b
+}

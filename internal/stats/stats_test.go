@@ -1,0 +1,202 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := Variance(xs); got != 4 {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); got != 2 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate inputs should return 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4, 16}); !almostEq(got, 4, 1e-12) {
+		t.Errorf("GeoMean = %v, want 4", got)
+	}
+	// non-positive values skipped
+	if got := GeoMean([]float64{0, -3, 4, 4}); !almostEq(got, 4, 1e-12) {
+		t.Errorf("GeoMean with skips = %v, want 4", got)
+	}
+	if GeoMean([]float64{0}) != 0 {
+		t.Error("all-skipped GeoMean should be 0")
+	}
+}
+
+func TestR2(t *testing.T) {
+	obs := []float64{1, 2, 3, 4}
+	if got := R2(obs, obs); got != 1 {
+		t.Errorf("perfect R2 = %v", got)
+	}
+	meanPred := []float64{2.5, 2.5, 2.5, 2.5}
+	if got := R2(obs, meanPred); got != 0 {
+		t.Errorf("mean-predictor R2 = %v, want 0", got)
+	}
+	if !math.IsNaN(R2(obs, []float64{1})) {
+		t.Error("length mismatch should give NaN")
+	}
+	if got := R2([]float64{3, 3}, []float64{3, 3}); got != 1 {
+		t.Errorf("constant exact R2 = %v, want 1", got)
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	obs := []float64{0, 0, 0, 0}
+	pred := []float64{1, -1, 1, -1}
+	if got := RMSE(obs, pred); got != 1 {
+		t.Errorf("RMSE = %v, want 1", got)
+	}
+	if !math.IsNaN(RMSE(nil, nil)) {
+		t.Error("empty RMSE should be NaN")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2} // unsorted on purpose
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 4 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 2.5 {
+		t.Errorf("p50 = %v, want 2.5", got)
+	}
+	if xs[0] != 4 {
+		t.Error("Percentile must not mutate input")
+	}
+	if got := Median([]float64{5}); got != 5 {
+		t.Errorf("single-element median = %v", got)
+	}
+}
+
+func TestBoxStats(t *testing.T) {
+	b := BoxStats([]float64{1, 2, 3, 4, 5})
+	if b.Min != 1 || b.Max != 5 || b.Median != 3 || b.N != 5 {
+		t.Errorf("BoxStats = %+v", b)
+	}
+	if b.Mean != 3 {
+		t.Errorf("mean = %v", b.Mean)
+	}
+	if s := b.String(); !strings.Contains(s, "n=5") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0.5, 1, 3, 3.5, 9.9, -5, 50} {
+		h.Add(x)
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	// -5 clamps to first bin, 50 clamps to last bin.
+	if h.Counts[0] != 3 { // 0.5, 1, -5
+		t.Errorf("bin0 = %d, want 3", h.Counts[0])
+	}
+	if h.Counts[4] != 2 { // 9.9, 50
+		t.Errorf("bin4 = %d, want 2", h.Counts[4])
+	}
+	if got := h.BinCenter(0); got != 1 {
+		t.Errorf("BinCenter(0) = %v, want 1", got)
+	}
+	if out := h.Render(20); !strings.Contains(out, "#") {
+		t.Error("Render should draw bars")
+	}
+}
+
+func TestHistogramPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewHistogram(5, 5, 10)
+}
+
+func TestLinearFit(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, 3, 5, 7} // y = 1 + 2x
+	a, b := LinearFit(x, y)
+	if !almostEq(a, 1, 1e-12) || !almostEq(b, 2, 1e-12) {
+		t.Errorf("fit = (%v, %v), want (1, 2)", a, b)
+	}
+	a, b = LinearFit([]float64{2, 2}, []float64{5, 7})
+	if a != 6 || b != 0 {
+		t.Errorf("degenerate-x fit = (%v,%v), want (6,0)", a, b)
+	}
+}
+
+func TestLinearFitRecoversNoisyRelationship(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var xs, ys []float64
+	for i := 0; i < 500; i++ {
+		x := rng.Float64() * 10
+		xs = append(xs, x)
+		ys = append(ys, 4+0.7*x+rng.NormFloat64()*0.01)
+	}
+	a, b := LinearFit(xs, ys)
+	if !almostEq(a, 4, 0.05) || !almostEq(b, 0.7, 0.01) {
+		t.Errorf("fit = (%v, %v)", a, b)
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, p1, p2 float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		lo, hi := math.Mod(math.Abs(p1), 100), math.Mod(math.Abs(p2), 100)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		a, b := Percentile(xs, lo), Percentile(xs, hi)
+		return a <= b && a >= Percentile(xs, 0) && b <= Percentile(xs, 100)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: R2 of a predictor is never above 1.
+func TestR2UpperBoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		obs := make([]float64, n)
+		pred := make([]float64, n)
+		for i := range obs {
+			obs[i] = rng.NormFloat64()
+			pred[i] = rng.NormFloat64()
+		}
+		r2 := R2(obs, pred)
+		return math.IsNaN(r2) || r2 <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

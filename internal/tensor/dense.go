@@ -1,0 +1,139 @@
+// Package tensor provides the dense and sparse matrix substrate of MLIMP:
+// 16-bit fixed-point dense matrices, CSR sparse matrices, and reference
+// GEMM / SpMM / SpMV / Vadd kernels. The reference kernels are the
+// functional ground truth that the in-memory kernel mappings
+// (internal/kernels) are validated against.
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mlimp/internal/fixed"
+)
+
+// Dense is a row-major dense matrix of fixed-point values.
+type Dense struct {
+	Rows, Cols int
+	Data       []fixed.Num // len == Rows*Cols
+}
+
+// NewDense allocates a zero matrix with the given shape.
+func NewDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic("tensor: negative dimension")
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: make([]fixed.Num, rows*cols)}
+}
+
+// NewDenseFromFloats builds a matrix from a row-major float slice.
+func NewDenseFromFloats(rows, cols int, vals []float64) *Dense {
+	if len(vals) != rows*cols {
+		panic("tensor: value count does not match shape")
+	}
+	d := NewDense(rows, cols)
+	for i, v := range vals {
+		d.Data[i] = fixed.FromFloat(v)
+	}
+	return d
+}
+
+// RandomDense fills a matrix with uniform values in [-scale, scale] from
+// rng, the initialisation used for synthetic GNN features and weights.
+func RandomDense(rng *rand.Rand, rows, cols int, scale float64) *Dense {
+	d := NewDense(rows, cols)
+	for i := range d.Data {
+		d.Data[i] = fixed.FromFloat((rng.Float64()*2 - 1) * scale)
+	}
+	return d
+}
+
+// At returns the element at (r, c).
+func (d *Dense) At(r, c int) fixed.Num { return d.Data[r*d.Cols+c] }
+
+// Set writes the element at (r, c).
+func (d *Dense) Set(r, c int, v fixed.Num) { d.Data[r*d.Cols+c] = v }
+
+// Row returns the r-th row as a slice aliasing the matrix storage.
+func (d *Dense) Row(r int) []fixed.Num { return d.Data[r*d.Cols : (r+1)*d.Cols] }
+
+// Clone returns a deep copy.
+func (d *Dense) Clone() *Dense {
+	c := NewDense(d.Rows, d.Cols)
+	copy(c.Data, d.Data)
+	return c
+}
+
+// Equal reports whether two matrices have identical shape and contents.
+func (d *Dense) Equal(o *Dense) bool {
+	if d.Rows != o.Rows || d.Cols != o.Cols {
+		return false
+	}
+	for i := range d.Data {
+		if d.Data[i] != o.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Transpose returns a new transposed matrix.
+func (d *Dense) Transpose() *Dense {
+	t := NewDense(d.Cols, d.Rows)
+	for r := 0; r < d.Rows; r++ {
+		for c := 0; c < d.Cols; c++ {
+			t.Set(c, r, d.At(r, c))
+		}
+	}
+	return t
+}
+
+// SizeBytes returns the storage footprint of the matrix payload, used by
+// the scheduler's data-size accounting (2 bytes per 16-bit element).
+func (d *Dense) SizeBytes() int64 { return int64(len(d.Data)) * 2 }
+
+// String renders the shape, for debugging.
+func (d *Dense) String() string { return fmt.Sprintf("Dense(%dx%d)", d.Rows, d.Cols) }
+
+// GEMM computes C = A*B in fixed point and returns C. It panics on a
+// shape mismatch.
+func GEMM(a, b *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: GEMM shape mismatch %v x %v", a, b))
+	}
+	c := NewDense(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for k := 0; k < a.Cols; k++ {
+			av := a.At(i, k)
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			crow := c.Row(i)
+			for j := range brow {
+				crow[j] = fixed.Add(crow[j], fixed.Mul(av, brow[j]))
+			}
+		}
+	}
+	return c
+}
+
+// Vadd computes C = A+B elementwise and returns C.
+func Vadd(a, b *Dense) *Dense {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("tensor: Vadd shape mismatch")
+	}
+	c := NewDense(a.Rows, a.Cols)
+	for i := range a.Data {
+		c.Data[i] = fixed.Add(a.Data[i], b.Data[i])
+	}
+	return c
+}
+
+// ReLU applies the rectifier elementwise in place and returns d.
+func (d *Dense) ReLU() *Dense {
+	for i, v := range d.Data {
+		d.Data[i] = fixed.ReLU(v)
+	}
+	return d
+}
