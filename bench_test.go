@@ -60,3 +60,4 @@ func BenchmarkAblation_InterQueueEpsilon(b *testing.B)      { run(b, "abl-epsilo
 func BenchmarkAblation_Compiler(b *testing.B)               { run(b, "abl-compiler") }
 func BenchmarkExtension_Serving(b *testing.B)               { run(b, "serving") }
 func BenchmarkExtension_Quantization(b *testing.B)          { run(b, "quant") }
+func BenchmarkExtension_Cluster(b *testing.B)               { run(b, "cluster") }

@@ -14,10 +14,12 @@ import (
 
 	"mlimp/internal/baseline"
 	"mlimp/internal/core"
+	"mlimp/internal/event"
 	"mlimp/internal/gnn"
 	"mlimp/internal/graph"
 	"mlimp/internal/isa"
 	"mlimp/internal/predict"
+	"mlimp/internal/runtime"
 	"mlimp/internal/sched"
 	"mlimp/internal/tensor"
 )
@@ -30,6 +32,8 @@ func main() {
 	batches := flag.Int("batches", 2, "number of query batches")
 	batchSize := flag.Int("batch-size", 16, "queries per batch")
 	seed := flag.Int64("seed", 1, "random seed")
+	intervalMs := flag.Float64("interval-ms", 0,
+		"serve batches online at this arrival interval instead of one offline run")
 	flag.Parse()
 
 	d, ok := graph.DatasetByName(*dataset)
@@ -88,6 +92,29 @@ func main() {
 			training = append(training, s.Sample(rng.Intn(w.Graph.N)).Adj)
 		}
 		p = predict.Train(rng, training, d.InputFeat, predict.DefaultTrainConfig())
+	}
+
+	// Online serving mode: the sampled batches arrive at a fixed
+	// interval and queue at the system, reporting the operator-facing
+	// latency distribution (p50/p90/p99 plus queue-delay percentiles)
+	// instead of one offline makespan.
+	if *intervalMs > 0 {
+		rt := runtime.New(sys.Sys, sc)
+		for i := range w.Batches {
+			single := &gnn.Workload{
+				Dataset: w.Dataset, Model: w.Model, Graph: w.Graph,
+				Batches: w.Batches[i : i+1],
+			}
+			rt.Submit(&runtime.Batch{
+				ID:      i,
+				Arrival: event.Time(float64(i) * *intervalMs * float64(event.Millisecond)),
+				Jobs:    single.AllJobs(p, sys.Sys),
+			})
+		}
+		fmt.Printf("serving %d batches every %.2fms with the %s scheduler on %v\n",
+			len(w.Batches), *intervalMs, sc.Name(), targets)
+		fmt.Println(rt.Run())
+		return
 	}
 
 	jobs := w.AllJobs(p, sys.Sys)

@@ -1,0 +1,159 @@
+// Package cluster lifts the single-node serving runtime into a
+// multi-node MLIMP serving fabric: N nodes — possibly heterogeneous in
+// layer mix and capacity — each run a runtime batch executor on one
+// shared event engine, fronted by a dispatcher with pluggable
+// load-balancing policies and admission control (bounded per-node
+// queues with shed-on-overflow and optional bounded retry in simulated
+// time). The paper schedules jobs across the computable-memory layers
+// of one node; this package schedules batches across many such nodes,
+// the shape a production deployment takes once a single node saturates
+// (PyGim parallelises GNN work across independent PIM devices the same
+// way).
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"mlimp/internal/event"
+	"mlimp/internal/isa"
+	"mlimp/internal/runtime"
+	"mlimp/internal/sched"
+)
+
+// NodeConfig describes one MLIMP node of the fleet.
+type NodeConfig struct {
+	Name    string
+	Targets []isa.Target // computable-memory layer mix
+	// Scale multiplies each layer's array capacity (0 means 1.0), so a
+	// fleet can mix full-size and cut-down nodes of the same layer mix.
+	Scale float64
+	// Scheduler is the node's batch scheduler; nil means the global
+	// scheduler (Algorithm 2), the paper's best.
+	Scheduler sched.Scheduler
+}
+
+// Node is one MLIMP system wrapped in a runtime executor plus the
+// occupancy bookkeeping the dispatcher's policies read.
+type Node struct {
+	Name string
+	Sys  *sched.System
+
+	rt        *runtime.Runtime
+	accepted  int
+	busy      event.Time         // sum of batch execution spans
+	predicted event.Time         // sum of cost estimates of outstanding batches
+	estimates map[int]event.Time // batch ID -> estimate while outstanding
+	runningID int                // batch executing now, -1 when idle
+	runStart  event.Time         // when it started
+	estSched  sched.Scheduler    // stateless planner backing EstimateCost
+}
+
+// NewNode builds a node on the shared engine.
+func NewNode(eng *event.Engine, cfg NodeConfig) *Node {
+	if len(cfg.Targets) == 0 {
+		panic("cluster: node needs at least one layer")
+	}
+	sys := sched.NewSystem(cfg.Targets...)
+	if cfg.Scale > 0 && cfg.Scale != 1 {
+		for _, l := range sys.Layers {
+			if c := int(float64(l.Capacity) * cfg.Scale); c >= 1 {
+				l.Capacity = c
+			} else {
+				l.Capacity = 1
+			}
+		}
+	}
+	scheduler := cfg.Scheduler
+	if scheduler == nil {
+		scheduler = sched.NewGlobal()
+	}
+	name := cfg.Name
+	if name == "" {
+		name = fmt.Sprintf("node-%v", cfg.Targets)
+	}
+	n := &Node{
+		Name:      name,
+		Sys:       sys,
+		rt:        runtime.NewOn(eng, sys, scheduler),
+		estimates: map[int]event.Time{},
+		runningID: -1,
+		estSched:  sched.NewGlobal(),
+	}
+	n.rt.OnStart = func(b *runtime.Batch, at event.Time) {
+		n.runningID, n.runStart = b.ID, at
+	}
+	n.rt.OnComplete = func(res runtime.BatchResult) {
+		n.busy += res.Completed - res.Start
+		n.predicted -= n.estimates[res.ID]
+		delete(n.estimates, res.ID)
+		n.runningID = -1
+	}
+	return n
+}
+
+// Outstanding returns the number of admitted but unfinished batches.
+func (n *Node) Outstanding() int { return n.rt.Outstanding() }
+
+// PredictedDrain estimates how long from now the node needs to finish
+// everything it has already accepted: the sum of the cost-model
+// estimates of its outstanding batches, minus the time the executing
+// batch has already spent (clamped to its own estimate, so an
+// underestimated batch never drives the drain negative).
+func (n *Node) PredictedDrain(now event.Time) event.Time {
+	d := n.predicted
+	if n.runningID >= 0 {
+		elapsed := now - n.runStart
+		if est := n.estimates[n.runningID]; elapsed > est {
+			elapsed = est
+		}
+		d -= elapsed
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// CanRun reports whether every job of the batch has a cost profile on
+// at least one of the node's layers — a node missing the only layer a
+// job compiles for must not be offered that batch.
+func (n *Node) CanRun(jobs []*sched.Job) bool {
+	for _, j := range jobs {
+		ok := false
+		for t := range n.Sys.Layers {
+			if _, has := j.Est[t]; has {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// EstimateCost predicts the batch's service time on this node by
+// planning it with a global scheduler against the node's own system —
+// the same Section III-C cost model the node schedules with, reused as
+// the dispatcher's crystal ball. The estimate assumes an idle node;
+// PredictedDrain accounts for the work ahead of the batch. Unrunnable
+// batches estimate to MaxInt64 (CanRun filters them out of admission
+// before any policy consults the estimate).
+func (n *Node) EstimateCost(jobs []*sched.Job) event.Time {
+	if !n.CanRun(jobs) {
+		return event.Time(math.MaxInt64)
+	}
+	return n.estSched.Schedule(n.Sys, jobs).Makespan
+}
+
+// accept admits a batch: the estimate is booked against the node and
+// the batch enters the runtime queue at the current simulated time.
+func (n *Node) accept(b *runtime.Batch) {
+	est := n.EstimateCost(b.Jobs)
+	n.estimates[b.ID] = est
+	n.predicted += est
+	n.accepted++
+	n.rt.Enqueue(b)
+}

@@ -1,0 +1,212 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"mlimp/internal/event"
+	"mlimp/internal/runtime"
+	"mlimp/internal/stats"
+)
+
+// Admission bounds how much work the fleet accepts — the backpressure
+// layer between an open arrival stream and finite nodes.
+type Admission struct {
+	// QueueCap is the maximum admitted-but-unfinished batches per node
+	// (queued plus executing). 0 means DefaultQueueCap.
+	QueueCap int
+	// MaxRetries is how many times an arrival that finds every queue
+	// full is re-dispatched after a backoff instead of being shed
+	// immediately. 0 disables retries.
+	MaxRetries int
+	// Backoff is the delay before the first retry; it doubles each
+	// attempt (simulated time). 0 means DefaultBackoff.
+	Backoff event.Time
+}
+
+// DefaultQueueCap matches the per-device outstanding-job bound the
+// paper uses ("up to 8", Section V-A), applied at batch granularity.
+const DefaultQueueCap = 8
+
+// DefaultBackoff is the initial retry delay, sized against the
+// ~10ms-scale batch service times of the Table II app suite so a
+// handful of doubling retries spans one batch drain.
+const DefaultBackoff = 500 * event.Microsecond
+
+func (a Admission) queueCap() int {
+	if a.QueueCap > 0 {
+		return a.QueueCap
+	}
+	return DefaultQueueCap
+}
+
+func (a Admission) backoff() event.Time {
+	if a.Backoff > 0 {
+		return a.Backoff
+	}
+	return DefaultBackoff
+}
+
+// Dispatcher fronts a fleet of nodes on one shared engine: arrivals are
+// admitted (or shed), routed by the policy, and drained deterministically.
+type Dispatcher struct {
+	eng    *event.Engine
+	nodes  []*Node
+	policy Policy
+	adm    Admission
+
+	submitted int
+	shed      int
+	retries   int
+}
+
+// NewDispatcher builds a fleet from node configs. It owns the shared
+// engine; Run drains it.
+func NewDispatcher(policy Policy, adm Admission, cfgs ...NodeConfig) *Dispatcher {
+	if policy == nil {
+		panic("cluster: nil policy")
+	}
+	if len(cfgs) == 0 {
+		panic("cluster: fleet needs at least one node")
+	}
+	eng := &event.Engine{}
+	d := &Dispatcher{eng: eng, policy: policy, adm: adm}
+	for i, cfg := range cfgs {
+		if cfg.Name == "" {
+			cfg.Name = fmt.Sprintf("node%d", i)
+		}
+		d.nodes = append(d.nodes, NewNode(eng, cfg))
+	}
+	return d
+}
+
+// Engine returns the shared engine (for callers that co-schedule their
+// own events, e.g. load generators).
+func (d *Dispatcher) Engine() *event.Engine { return d.eng }
+
+// Nodes returns the fleet in configuration order.
+func (d *Dispatcher) Nodes() []*Node { return d.nodes }
+
+// Submit registers a batch arrival at b.Arrival. Must be called before
+// Run; arrivals may be submitted in any order.
+func (d *Dispatcher) Submit(b *runtime.Batch) {
+	if len(b.Jobs) == 0 {
+		panic("cluster: empty batch")
+	}
+	d.submitted++
+	d.eng.At(b.Arrival, func() { d.dispatch(b, 0) })
+}
+
+// dispatch routes one arrival: filter to eligible nodes, let the policy
+// pick, and fall back to bounded retry then shed when the whole fleet
+// is at its admission bound.
+func (d *Dispatcher) dispatch(b *runtime.Batch, attempt int) {
+	qcap := d.adm.queueCap()
+	var eligible []*Node
+	for _, n := range d.nodes {
+		if n.Outstanding() < qcap && n.CanRun(b.Jobs) {
+			eligible = append(eligible, n)
+		}
+	}
+	if len(eligible) == 0 {
+		if attempt < d.adm.MaxRetries {
+			d.retries++
+			d.eng.After(d.adm.backoff()<<attempt, func() { d.dispatch(b, attempt+1) })
+			return
+		}
+		d.shed++
+		return
+	}
+	d.policy.Pick(eligible, b, d.eng.Now()).accept(b)
+}
+
+// PoissonArrivals draws n arrival times whose inter-arrival gaps are
+// exponentially distributed with the given mean — a Poisson-style open
+// arrival process. Deterministic for a seeded rng.
+func PoissonArrivals(rng *rand.Rand, n int, meanGap event.Time) []event.Time {
+	times := make([]event.Time, n)
+	var at float64
+	for i := range times {
+		at += rng.ExpFloat64() * float64(meanGap)
+		times[i] = event.Time(at)
+	}
+	return times
+}
+
+// NodeSummary is one node's slice of a fleet run.
+type NodeSummary struct {
+	Name        string
+	Batches     int        // batches completed
+	Utilization float64    // busy time / fleet makespan
+	BusyTime    event.Time // sum of batch execution spans
+	MeanLatMs   float64
+}
+
+// Summary aggregates a fleet run: admission counters, fleet-wide
+// latency and queue-delay percentiles, and per-node utilization.
+type Summary struct {
+	Policy    string
+	Submitted int
+	Completed int
+	Shed      int
+	Retries   int
+	Makespan  event.Time
+	MeanLatMs float64
+	P50LatMs  float64
+	P90LatMs  float64
+	P99LatMs  float64
+	P50QueMs  float64
+	P99QueMs  float64
+	Nodes     []NodeSummary
+}
+
+// String renders the fleet summary, one headline plus one line per node.
+func (s Summary) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cluster(policy=%s nodes=%d submitted=%d completed=%d shed=%d retries=%d makespan=%.3fms\n",
+		s.Policy, len(s.Nodes), s.Submitted, s.Completed, s.Shed, s.Retries, s.Makespan.Millis())
+	fmt.Fprintf(&sb, "  latency mean=%.3f p50=%.3f p90=%.3f p99=%.3fms queue p50=%.3f p99=%.3fms\n",
+		s.MeanLatMs, s.P50LatMs, s.P90LatMs, s.P99LatMs, s.P50QueMs, s.P99QueMs)
+	for _, n := range s.Nodes {
+		fmt.Fprintf(&sb, "  %-12s batches=%-4d util=%.2f mean-lat=%.3fms\n",
+			n.Name, n.Batches, n.Utilization, n.MeanLatMs)
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// Run drains the shared engine and aggregates the fleet summary.
+func (d *Dispatcher) Run() Summary {
+	d.eng.Run()
+	s := Summary{Policy: d.policy.Name(), Submitted: d.submitted, Shed: d.shed, Retries: d.retries}
+	var lats, queues []float64
+	for _, n := range d.nodes {
+		ns := n.rt.Summarize()
+		s.Completed += ns.Batches
+		if ns.Makespan > s.Makespan {
+			s.Makespan = ns.Makespan
+		}
+		s.Nodes = append(s.Nodes, NodeSummary{
+			Name: n.Name, Batches: ns.Batches, BusyTime: n.busy, MeanLatMs: ns.MeanLatMs,
+		})
+		for _, r := range ns.Results {
+			lats = append(lats, r.Latency().Millis())
+			queues = append(queues, r.QueueDelay().Millis())
+		}
+	}
+	for i := range s.Nodes {
+		if s.Makespan > 0 {
+			s.Nodes[i].Utilization = s.Nodes[i].BusyTime.Seconds() / s.Makespan.Seconds()
+		}
+	}
+	if len(lats) > 0 {
+		s.MeanLatMs = stats.Mean(lats)
+		s.P50LatMs = stats.Percentile(lats, 50)
+		s.P90LatMs = stats.Percentile(lats, 90)
+		s.P99LatMs = stats.Percentile(lats, 99)
+		s.P50QueMs = stats.Percentile(queues, 50)
+		s.P99QueMs = stats.Percentile(queues, 99)
+	}
+	return s
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mlimp/internal/cluster"
+	"mlimp/internal/event"
+	"mlimp/internal/isa"
+	"mlimp/internal/runtime"
+	"mlimp/internal/workload"
+)
+
+func init() {
+	register("cluster", "Extension: multi-node serving fabric — policy sweep over arrival rates", clusterExp)
+}
+
+// clusterFleet is the bundled heterogeneous fleet: one full node, two
+// partial layer mixes, and a ReRAM-only straggler whose 20 MHz arrays
+// make naive balancing expensive — the configuration the policy
+// comparison is judged on.
+func clusterFleet() []cluster.NodeConfig {
+	return []cluster.NodeConfig{
+		{Name: "full", Targets: isa.Targets},
+		{Name: "sram-dram", Targets: []isa.Target{isa.SRAM, isa.DRAM}},
+		{Name: "dram-reram", Targets: []isa.Target{isa.DRAM, isa.ReRAM}},
+		{Name: "reram", Targets: []isa.Target{isa.ReRAM}},
+	}
+}
+
+// clusterExp sweeps the three load-balancing policies over a Poisson
+// arrival-rate sweep on the heterogeneous fleet, with identical
+// workload and seed per policy. The fleet-level analogue of the paper's
+// scheduler comparison: roundrobin is the naive baseline, predicted-
+// cost reuses the Section III-C cost model to route around slow nodes.
+func clusterExp() *Result {
+	const (
+		nBatches     = 32
+		jobsPerBatch = 3
+		seed         = 500
+	)
+	t := &table{header: []string{"policy", "gap(ms)", "p50(ms)", "p99(ms)", "shed", "retries", "mean-util"}}
+	p99 := map[string]map[float64]float64{}
+	for _, gapMs := range []float64{20, 5, 1} {
+		for _, name := range cluster.PolicyNames() {
+			p, _ := cluster.PolicyByName(name)
+			d := cluster.NewDispatcher(p, cluster.Admission{MaxRetries: 4}, clusterFleet()...)
+			rng := rand.New(rand.NewSource(seed))
+			gap := event.Time(gapMs * float64(event.Millisecond))
+			for i, at := range cluster.PoissonArrivals(rng, nBatches, gap) {
+				d.Submit(&runtime.Batch{ID: i, Arrival: at,
+					Jobs: workload.RandomJobs(rng, jobsPerBatch, i*100)})
+			}
+			s := d.Run()
+			var util float64
+			for _, n := range s.Nodes {
+				util += n.Utilization
+			}
+			util /= float64(len(s.Nodes))
+			t.add(name, f2(gapMs), f3(s.P50LatMs), f3(s.P99LatMs),
+				fmt.Sprint(s.Shed), fmt.Sprint(s.Retries), f2(util))
+			if p99[name] == nil {
+				p99[name] = map[float64]float64{}
+			}
+			p99[name][gapMs] = s.P99LatMs
+		}
+	}
+	ok := true
+	for gap, v := range p99["predicted-cost"] {
+		if v > p99["roundrobin"][gap] {
+			ok = false
+		}
+	}
+	text := t.String() + fmt.Sprintf("predicted-cost p99 <= roundrobin p99 at every arrival rate: %v\n", ok)
+	return &Result{ID: "cluster", Title: "multi-node serving fabric", Text: text}
+}

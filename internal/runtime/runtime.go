@@ -6,6 +6,11 @@
 // engine, it turns the batch-level scheduler into a serving simulation
 // with arrival-to-completion latency distributions — the view an
 // inference service operator cares about.
+//
+// A Runtime either owns a private engine (New, the standalone case) or
+// runs on an injected shared engine (NewOn) so that several runtimes —
+// the nodes of an internal/cluster fleet — advance in one simulated
+// timeline.
 package runtime
 
 import (
@@ -42,18 +47,47 @@ type Runtime struct {
 	Sys       *sched.System
 	Scheduler sched.Scheduler
 
-	eng     event.Engine
+	// OnStart, if set, fires when a batch leaves the queue and its jobs
+	// begin executing. OnComplete fires when the batch finishes. Both run
+	// inside the event engine, at the simulated instant they describe —
+	// the hooks fabric layers (internal/cluster) use to track occupancy
+	// without owning the run loop.
+	OnStart    func(b *Batch, at event.Time)
+	OnComplete func(res BatchResult)
+
+	eng     *event.Engine
 	queue   []*Batch
 	busy    bool
 	results []BatchResult
 }
 
-// New builds a runtime over the given system and scheduler.
+// New builds a runtime over the given system and scheduler with a
+// private event engine.
 func New(sys *sched.System, scheduler sched.Scheduler) *Runtime {
-	if sys == nil || scheduler == nil {
-		panic("runtime: nil system or scheduler")
+	return NewOn(&event.Engine{}, sys, scheduler)
+}
+
+// NewOn builds a runtime on an injected engine, so multiple runtimes
+// (and their dispatcher) share one simulated timeline. The caller that
+// owns the engine decides when to run it; use Summarize afterwards.
+func NewOn(eng *event.Engine, sys *sched.System, scheduler sched.Scheduler) *Runtime {
+	if eng == nil || sys == nil || scheduler == nil {
+		panic("runtime: nil engine, system or scheduler")
 	}
-	return &Runtime{Sys: sys, Scheduler: scheduler}
+	return &Runtime{Sys: sys, Scheduler: scheduler, eng: eng}
+}
+
+// Engine returns the engine this runtime schedules on.
+func (r *Runtime) Engine() *event.Engine { return r.eng }
+
+// Outstanding returns the number of admitted but unfinished batches
+// (queued plus the one executing).
+func (r *Runtime) Outstanding() int {
+	n := len(r.queue)
+	if r.busy {
+		n++
+	}
+	return n
 }
 
 // Submit registers a batch arrival. Must be called before Run; arrivals
@@ -63,6 +97,18 @@ func (r *Runtime) Submit(b *Batch) {
 		panic("runtime: empty batch")
 	}
 	r.eng.At(b.Arrival, func() { r.arrive(b) })
+}
+
+// Enqueue admits a batch into the run queue at the current engine time,
+// preserving b.Arrival for latency accounting. This is the entry point
+// for fabric layers that manage arrivals themselves: a dispatcher holds
+// the batch through admission (and possibly retries), then enqueues it
+// here once a node accepts it.
+func (r *Runtime) Enqueue(b *Batch) {
+	if len(b.Jobs) == 0 {
+		panic("runtime: empty batch")
+	}
+	r.arrive(b)
 }
 
 func (r *Runtime) arrive(b *Batch) {
@@ -82,12 +128,19 @@ func (r *Runtime) pump() {
 	r.queue = r.queue[1:]
 	r.busy = true
 	start := r.eng.Now()
+	if r.OnStart != nil {
+		r.OnStart(b, start)
+	}
 	res := r.Scheduler.Schedule(r.Sys, b.Jobs)
 	r.eng.After(res.Makespan, func() {
-		r.results = append(r.results, BatchResult{
+		done := BatchResult{
 			ID: b.ID, Arrival: b.Arrival, Start: start, Completed: r.eng.Now(),
-		})
+		}
+		r.results = append(r.results, done)
 		r.busy = false
+		if r.OnComplete != nil {
+			r.OnComplete(done)
+		}
 		r.pump()
 	})
 }
@@ -98,32 +151,53 @@ type Summary struct {
 	Makespan  event.Time // completion of the last batch
 	MeanLatMs float64
 	P50LatMs  float64
+	P90LatMs  float64
 	P99LatMs  float64
 	MeanQueMs float64
+	P50QueMs  float64
+	P99QueMs  float64
 	Results   []BatchResult
 }
 
 // String renders the headline serving metrics.
 func (s Summary) String() string {
-	return fmt.Sprintf("runtime(batches=%d makespan=%.3fms latency mean=%.3f p50=%.3f p99=%.3f queue=%.3fms)",
-		s.Batches, s.Makespan.Millis(), s.MeanLatMs, s.P50LatMs, s.P99LatMs, s.MeanQueMs)
+	return fmt.Sprintf("runtime(batches=%d makespan=%.3fms latency mean=%.3f p50=%.3f p90=%.3f p99=%.3f queue mean=%.3f p50=%.3f p99=%.3fms)",
+		s.Batches, s.Makespan.Millis(), s.MeanLatMs, s.P50LatMs, s.P90LatMs, s.P99LatMs,
+		s.MeanQueMs, s.P50QueMs, s.P99QueMs)
+}
+
+// Summarize aggregates the results accumulated so far without touching
+// the engine — the read path for shared-engine runtimes whose owner ran
+// the simulation. A run with no completed batches summarises to zeros.
+func (r *Runtime) Summarize() Summary {
+	if len(r.results) == 0 {
+		return Summary{}
+	}
+	var lats, queues []float64
+	makespan := event.Time(0)
+	for _, b := range r.results {
+		lats = append(lats, b.Latency().Millis())
+		queues = append(queues, b.QueueDelay().Millis())
+		if b.Completed > makespan {
+			makespan = b.Completed
+		}
+	}
+	return Summary{
+		Batches:   len(r.results),
+		Makespan:  makespan,
+		MeanLatMs: stats.Mean(lats),
+		P50LatMs:  stats.Percentile(lats, 50),
+		P90LatMs:  stats.Percentile(lats, 90),
+		P99LatMs:  stats.Percentile(lats, 99),
+		MeanQueMs: stats.Mean(queues),
+		P50QueMs:  stats.Percentile(queues, 50),
+		P99QueMs:  stats.Percentile(queues, 99),
+		Results:   r.results,
+	}
 }
 
 // Run drains all submitted arrivals and returns the serving summary.
 func (r *Runtime) Run() Summary {
-	end := r.eng.Run()
-	var lats, queues []float64
-	for _, b := range r.results {
-		lats = append(lats, b.Latency().Millis())
-		queues = append(queues, b.QueueDelay().Millis())
-	}
-	return Summary{
-		Batches:   len(r.results),
-		Makespan:  end,
-		MeanLatMs: stats.Mean(lats),
-		P50LatMs:  stats.Percentile(lats, 50),
-		P99LatMs:  stats.Percentile(lats, 99),
-		MeanQueMs: stats.Mean(queues),
-		Results:   r.results,
-	}
+	r.eng.Run()
+	return r.Summarize()
 }

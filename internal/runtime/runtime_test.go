@@ -109,6 +109,11 @@ func TestPanics(t *testing.T) {
 	for i, f := range []func(){
 		func() { New(nil, sched.NewGlobal()) },
 		func() { New(sched.NewSystem(isa.SRAM), nil) },
+		func() { NewOn(nil, sched.NewSystem(isa.SRAM), sched.NewGlobal()) },
+		func() {
+			r := New(sched.NewSystem(isa.SRAM), sched.NewGlobal())
+			r.Enqueue(&Batch{ID: 0})
+		},
 		func() {
 			r := New(sched.NewSystem(isa.SRAM), sched.NewGlobal())
 			r.Submit(&Batch{ID: 0, Arrival: 0})
@@ -122,6 +127,96 @@ func TestPanics(t *testing.T) {
 			}()
 			f()
 		}()
+	}
+}
+
+func TestInjectedEngine(t *testing.T) {
+	// Two runtimes on one shared engine advance in a single timeline:
+	// the engine owner runs it once and reads both via Summarize.
+	rng := rand.New(rand.NewSource(6))
+	eng := &event.Engine{}
+	a := NewOn(eng, sched.NewSystem(isa.Targets...), sched.NewGlobal())
+	b := NewOn(eng, sched.NewSystem(isa.SRAM, isa.DRAM), sched.NewGlobal())
+	if a.Engine() != eng || b.Engine() != eng {
+		t.Fatal("injected engine not retained")
+	}
+	a.Submit(mkBatch(0, 0, 4, rng))
+	b.Submit(mkBatch(1, event.Microsecond, 4, rng))
+	end := eng.Run()
+	sa, sb := a.Summarize(), b.Summarize()
+	if sa.Batches != 1 || sb.Batches != 1 {
+		t.Fatalf("batches = %d, %d", sa.Batches, sb.Batches)
+	}
+	if sa.Makespan > end || sb.Makespan > end {
+		t.Errorf("per-runtime makespans %v, %v exceed shared end %v", sa.Makespan, sb.Makespan, end)
+	}
+	// New must still give every standalone runtime a private engine.
+	if New(sched.NewSystem(isa.SRAM), sched.NewGlobal()).Engine() == eng {
+		t.Error("New shared an engine it should own")
+	}
+}
+
+func TestZeroBatchRun(t *testing.T) {
+	r := New(sched.NewSystem(isa.Targets...), sched.NewGlobal())
+	s := r.Run()
+	if s.Batches != 0 || s.Makespan != 0 || s.MeanLatMs != 0 ||
+		s.P50LatMs != 0 || s.P90LatMs != 0 || s.P99LatMs != 0 ||
+		s.P50QueMs != 0 || s.P99QueMs != 0 {
+		t.Errorf("zero-batch summary not zero: %v", s)
+	}
+	if !strings.Contains(s.String(), "batches=0") {
+		t.Errorf("render = %q", s)
+	}
+}
+
+func TestHooksFire(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	r := New(sched.NewSystem(isa.Targets...), sched.NewGlobal())
+	var starts []event.Time
+	var completes []BatchResult
+	r.OnStart = func(b *Batch, at event.Time) {
+		if r.Outstanding() == 0 {
+			t.Error("OnStart fired with nothing outstanding")
+		}
+		starts = append(starts, at)
+	}
+	r.OnComplete = func(res BatchResult) { completes = append(completes, res) }
+	for i := 0; i < 3; i++ {
+		r.Submit(mkBatch(i, 0, 4, rng))
+	}
+	s := r.Run()
+	if len(starts) != 3 || len(completes) != 3 {
+		t.Fatalf("hooks fired %d/%d times, want 3/3", len(starts), len(completes))
+	}
+	for i, res := range completes {
+		if res.Start != starts[i] {
+			t.Errorf("batch %d: OnStart at %v but result started %v", i, starts[i], res.Start)
+		}
+		if res.Start != s.Results[i].Start || res.Completed != s.Results[i].Completed {
+			t.Errorf("batch %d: hook result differs from summary", i)
+		}
+	}
+	if r.Outstanding() != 0 {
+		t.Errorf("outstanding after drain = %d", r.Outstanding())
+	}
+}
+
+// TestDeterministicReplay checks the full summary — every percentile,
+// not just the makespan — is identical across two runs with the same
+// seed, on both the owned- and injected-engine paths.
+func TestDeterministicReplay(t *testing.T) {
+	run := func() string {
+		rng := rand.New(rand.NewSource(9))
+		eng := &event.Engine{}
+		r := NewOn(eng, sched.NewSystem(isa.Targets...), sched.NewGlobal())
+		for i := 0; i < 6; i++ {
+			r.Submit(mkBatch(i, event.Time(i)*100*event.Microsecond, 5, rng))
+		}
+		eng.Run()
+		return r.Summarize().String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("replay diverged:\n%s\nvs\n%s", a, b)
 	}
 }
 

@@ -43,7 +43,9 @@ func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
 
 // GeoMean returns the geometric mean of xs. All values must be positive;
 // non-positive values are skipped so a single degenerate sample cannot
-// poison an aggregate speedup.
+// poison an aggregate speedup. When nothing survives the skip — xs is
+// empty or contains no positive value — GeoMean returns 0, the sentinel
+// for "no aggregate", rather than NaN.
 func GeoMean(xs []float64) float64 {
 	var logSum float64
 	n := 0

@@ -37,6 +37,17 @@ func TestGeoMean(t *testing.T) {
 	if GeoMean([]float64{0}) != 0 {
 		t.Error("all-skipped GeoMean should be 0")
 	}
+	// Nothing survives the skip: empty, nil, and all-non-positive inputs
+	// must all return the 0 sentinel, never NaN.
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v, want 0", got)
+	}
+	if got := GeoMean([]float64{}); got != 0 {
+		t.Errorf("GeoMean(empty) = %v, want 0", got)
+	}
+	if got := GeoMean([]float64{-1, 0, -16}); got != 0 {
+		t.Errorf("GeoMean(all non-positive) = %v, want 0", got)
+	}
 }
 
 func TestR2(t *testing.T) {

@@ -82,6 +82,44 @@ func TestReplayedJobsScheduleIdentically(t *testing.T) {
 	}
 }
 
+func TestVersionMismatchRoundTrip(t *testing.T) {
+	// A trace written by a "future" format version must be rejected on
+	// both read paths: Read (deserialisation) and Jobs (reconstruction).
+	tr := Capture("future", sampleJobs(t))
+	tr.Version = Version + 1
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("future-version trace read: err = %v, want version mismatch", err)
+	}
+	if _, err := tr.Jobs(); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("future-version trace replay: err = %v, want version mismatch", err)
+	}
+}
+
+func TestCorruptJSONRoundTrip(t *testing.T) {
+	// Serialise a valid trace, then corrupt the bytes in ways a broken
+	// disk or a truncated copy produces; every corruption must surface
+	// as a read error, never as a silently-wrong replay.
+	tr := Capture("corrupt", sampleJobs(t))
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	for name, corrupt := range map[string][]byte{
+		"truncated":      good[:len(good)/2],
+		"garbage prefix": append([]byte("\x00\xff{"), good...),
+		"braces swapped": bytes.ReplaceAll(good, []byte("{"), []byte("[")),
+	} {
+		if _, err := Read(bytes.NewReader(corrupt)); err == nil {
+			t.Errorf("%s trace should fail to read", name)
+		}
+	}
+}
+
 func TestReadErrors(t *testing.T) {
 	if _, err := Read(strings.NewReader("{not json")); err == nil {
 		t.Error("malformed JSON should fail")

@@ -6,6 +6,7 @@ package workload
 
 import (
 	"fmt"
+	"math/rand"
 
 	"mlimp/internal/apps"
 	"mlimp/internal/isa"
@@ -96,6 +97,33 @@ func ComboJobs(name string) []*sched.Job {
 			panic(fmt.Sprintf("workload: unknown app %q in combo %s", an, name))
 		}
 		jobs = append(jobs, Jobs(a, len(jobs))...)
+	}
+	return jobs
+}
+
+// RandomJobs draws n jobs uniformly from the Table II application suite
+// — the synthetic open-stream workload the cluster serving studies feed
+// the fleet. Deterministic for a seeded rng; profiles are shared across
+// jobs of the same app (they are read-only to the scheduler).
+func RandomJobs(rng *rand.Rand, n, startID int) []*sched.Job {
+	suite := apps.Suite()
+	ests := make([]map[isa.Target]sched.Profile, len(suite))
+	for i, a := range suite {
+		est := map[isa.Target]sched.Profile{}
+		for _, t := range isa.Targets {
+			est[t] = profileFor(a, t)
+		}
+		ests[i] = est
+	}
+	jobs := make([]*sched.Job, n)
+	for i := range jobs {
+		k := rng.Intn(len(suite))
+		jobs[i] = &sched.Job{
+			ID:   startID + i,
+			Name: fmt.Sprintf("%s-%d", suite[k].Name, startID+i),
+			Kind: suite[k].Name,
+			Est:  ests[k],
+		}
 	}
 	return jobs
 }
