@@ -3,15 +3,22 @@
 //
 // Usage:
 //
-//	mlimp-bench            # run the full suite
+//	mlimp-bench            # run the full suite, one worker per CPU
+//	mlimp-bench -j 1       # serial run (byte-identical artefacts)
 //	mlimp-bench -list      # list experiment ids
 //	mlimp-bench -run fig13 # run one experiment
+//
+// Experiments are independent deterministic functions, so the parallel
+// sweep produces artefacts byte-identical to -j 1; only the wall clock
+// changes. Output is always printed in registry order.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"mlimp/internal/experiments"
@@ -20,6 +27,7 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	run := flag.String("run", "", "run only the experiment with this id")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "number of experiments to run concurrently")
 	flag.Parse()
 
 	if *list {
@@ -34,15 +42,21 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mlimp-bench: unknown experiment %q (try -list)\n", *run)
 			os.Exit(1)
 		}
+		t0 := time.Now()
 		fmt.Println(e.Run().String())
+		fmt.Printf("(%s in %v)\n", e.ID, time.Since(t0).Round(time.Millisecond))
 		return
 	}
 	start := time.Now()
-	for _, e := range experiments.All() {
-		t0 := time.Now()
-		res := e.Run()
-		fmt.Println(res.String())
-		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+	results, err := experiments.RunAll(context.Background(), *jobs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mlimp-bench: %v\n", err)
+		os.Exit(1)
 	}
-	fmt.Printf("full reproduction suite completed in %v\n", time.Since(start).Round(time.Millisecond))
+	for _, r := range results {
+		fmt.Println(r.Result.String())
+		fmt.Printf("(%s in %v)\n\n", r.Experiment.ID, r.Elapsed.Round(time.Millisecond))
+	}
+	fmt.Printf("full reproduction suite completed in %v (%d experiments, -j %d)\n",
+		time.Since(start).Round(time.Millisecond), len(results), *jobs)
 }

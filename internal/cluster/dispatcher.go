@@ -200,13 +200,12 @@ func (d *Dispatcher) Run() Summary {
 			s.Nodes[i].Utilization = s.Nodes[i].BusyTime.Seconds() / s.Makespan.Seconds()
 		}
 	}
-	if len(lats) > 0 {
-		s.MeanLatMs = stats.Mean(lats)
-		s.P50LatMs = stats.Percentile(lats, 50)
-		s.P90LatMs = stats.Percentile(lats, 90)
-		s.P99LatMs = stats.Percentile(lats, 99)
-		s.P50QueMs = stats.Percentile(queues, 50)
-		s.P99QueMs = stats.Percentile(queues, 99)
-	}
+	lat, que := stats.SummarizeLatency(lats), stats.SummarizeLatency(queues)
+	s.MeanLatMs = lat.Mean
+	s.P50LatMs = lat.P50
+	s.P90LatMs = lat.P90
+	s.P99LatMs = lat.P99
+	s.P50QueMs = que.P50
+	s.P99QueMs = que.P99
 	return s
 }

@@ -144,6 +144,140 @@ func TestRunUntilAdvancesIdleClock(t *testing.T) {
 	}
 }
 
+// TestClockRoundingContract locks down the NewClock rounding contract
+// on a DDR4-2400-class non-integer period: 2400 MHz has an exact period
+// of 1250/3 = 416.666... ps, which must round to the nearest picosecond
+// (417) and then stay exact — over billions of cycles the divergence
+// from the true rational is only the per-cycle rounding of the period,
+// never floating-point drift.
+func TestClockRoundingContract(t *testing.T) {
+	c := NewClock(2400)
+	if got := c.Period(); got != 417*Picosecond {
+		t.Fatalf("2400MHz period = %v ps, want 417 (nearest ps to 416.67)", got)
+	}
+	for _, n := range []int64{1, 1e6, 1e9, 3e9} {
+		got := c.Cycles(n)
+		// Integral-period arithmetic: exactly n * period, bit for bit.
+		if got != Time(n)*c.Period() {
+			t.Fatalf("Cycles(%d) = %v, want exact n*period", n, got)
+		}
+		// Drift versus the exact rational n*1250/3 ps is bounded by the
+		// period rounding: at most 0.5 ps per cycle.
+		exactNum := n * 1250 // exact duration is exactNum/3 ps
+		diff3 := int64(got)*3 - exactNum
+		if diff3 < 0 {
+			diff3 = -diff3
+		}
+		if diff3 > 3*n/2 {
+			t.Errorf("Cycles(%d) drifts %v/3 ps from exact rational, want <= n/2", n, diff3)
+		}
+	}
+	// The relative error of the rounded period never exceeds 0.5/period,
+	// so a billion-cycle simulation is off by under 0.1% for this clock.
+	relErr := (417.0 - 1250.0/3.0) / (1250.0 / 3.0)
+	if relErr < 0 {
+		relErr = -relErr
+	}
+	if relErr > 0.5/417.0 {
+		t.Errorf("relative period error %g exceeds 0.5/period bound", relErr)
+	}
+}
+
+// TestReserve checks the capacity hint: after Reserve(n), n pushes must
+// not reallocate the backing array.
+func TestReserve(t *testing.T) {
+	var e Engine
+	e.Reserve(100)
+	if got := cap(e.events); got < 100 {
+		t.Fatalf("cap after Reserve(100) = %d", got)
+	}
+	before := cap(e.events)
+	for i := 0; i < 100; i++ {
+		e.At(Time(i), func() {})
+	}
+	if cap(e.events) != before {
+		t.Errorf("push reallocated despite Reserve: cap %d -> %d", before, cap(e.events))
+	}
+	// Reserve with enough free capacity is a no-op.
+	e.Run()
+	e.Reserve(10)
+	if cap(e.events) != before {
+		t.Errorf("redundant Reserve reallocated: cap %d -> %d", before, cap(e.events))
+	}
+}
+
+// TestPushPopNoAllocs pins the tentpole claim: the steady-state
+// schedule/fire path performs zero allocations.
+func TestPushPopNoAllocs(t *testing.T) {
+	var e Engine
+	e.Reserve(64)
+	fn := func() {}
+	for i := 0; i < 32; i++ {
+		e.At(Time(i), fn)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.At(e.now+10, fn)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state push/pop allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestHeapStress drives the 4-ary heap through random interleaved
+// push/pop shapes against a linear-scan reference queue, checking the
+// exact (at, seq) total order survives arbitrary heap shapes.
+func TestHeapStress(t *testing.T) {
+	type ev struct {
+		at  Time
+		idx int
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		var e Engine
+		var ref []ev // unordered pending set, popped by linear min-scan
+		refPop := func() ev {
+			best := 0
+			for i := 1; i < len(ref); i++ {
+				// idx is insertion order, the seq tie-break.
+				if ref[i].at < ref[best].at ||
+					(ref[i].at == ref[best].at && ref[i].idx < ref[best].idx) {
+					best = i
+				}
+			}
+			m := ref[best]
+			ref = append(ref[:best], ref[best+1:]...)
+			return m
+		}
+		var got, want []ev
+		n := 1 + rng.Intn(300)
+		for i := 0; i < n; i++ {
+			// Dense offsets force (at, seq) ties; scheduling relative to
+			// Now keeps interleaved draining causal.
+			at := e.Now() + Time(rng.Int63n(16))
+			i := i
+			ref = append(ref, ev{at, i})
+			e.At(at, func() { got = append(got, ev{e.Now(), i}) })
+			if rng.Intn(4) == 0 && len(ref) > 0 {
+				want = append(want, refPop())
+				e.Step()
+			}
+		}
+		for len(ref) > 0 {
+			want = append(want, refPop())
+		}
+		e.Run()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: fired %d of %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: event %d = %+v, want %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 // Property: for any set of delays, events fire in nondecreasing time
 // order and the engine terminates at the max timestamp.
 func TestEngineOrderProperty(t *testing.T) {

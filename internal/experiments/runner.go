@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Timed is one experiment's outcome from a RunAll sweep: the artefact
+// plus how long regenerating it took on the wall clock.
+type Timed struct {
+	Experiment Experiment
+	Result     *Result
+	Elapsed    time.Duration
+}
+
+// RunAll regenerates every registered experiment through a bounded
+// worker pool and returns the outcomes in registry (presentation)
+// order, regardless of completion order.
+//
+// Each experiment is a pure deterministic function owning its own event
+// engine and seeded RNGs, so running them concurrently changes nothing
+// about the artefacts: RunAll(ctx, n) for any n >= 1 produces results
+// byte-identical to the serial sweep (asserted by
+// TestRunAllMatchesSerial). parallelism < 1 means GOMAXPROCS.
+//
+// ctx cancellation stops the sweep early: experiments not yet started
+// are skipped (their Timed.Result stays nil) and the context error is
+// returned once in-flight experiments drain. Individual experiments are
+// not interruptible mid-run.
+func RunAll(ctx context.Context, parallelism int) ([]Timed, error) {
+	if parallelism < 1 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	all := All()
+	out := make([]Timed, len(all))
+	for i, e := range all {
+		out[i].Experiment = e
+	}
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	var err error
+	for i := range all {
+		// Checked before the select too: with a free worker slot both
+		// select cases are ready and the choice would be random, but a
+		// cancelled sweep must never start another experiment.
+		if err = ctx.Err(); err == nil {
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				err = ctx.Err()
+			}
+		}
+		if err != nil {
+			break
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			out[i].Result = all[i].Run()
+			out[i].Elapsed = time.Since(t0)
+		}(i)
+	}
+	wg.Wait()
+	return out, err
+}

@@ -1,0 +1,37 @@
+package gnn
+
+import (
+	"math/rand"
+	"testing"
+
+	"mlimp/internal/graph"
+	"mlimp/internal/tensor"
+)
+
+// BenchmarkInfer measures reference GCN inference over one sampled
+// workload batch — the end-to-end consumer of the tensor SpMM/GEMM
+// kernels, so this bench tracks the row-parallel fast paths at the
+// shapes the experiments actually run.
+func BenchmarkInfer(b *testing.B) {
+	d, ok := graph.DatasetByName("ogbl-collab")
+	if !ok {
+		b.Fatal("dataset missing")
+	}
+	rng := rand.New(rand.NewSource(1))
+	m := NewGCN(rng, d.InputFeat, d.HiddenFeat, 3)
+	w := BuildWorkload(rng, d, m, 1, 8)
+	sgs := w.Subgraphs()
+	feats := make([]*tensor.Dense, len(sgs))
+	for i, sg := range sgs {
+		feats[i] = tensor.RandomDense(rng, sg.NumNodes(), d.InputFeat, 1)
+	}
+	rows := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i % len(sgs)
+		out := m.Infer(sgs[k], feats[k])
+		rows = out.Rows
+	}
+	_ = rows
+}

@@ -182,16 +182,17 @@ func (r *Runtime) Summarize() Summary {
 			makespan = b.Completed
 		}
 	}
+	lat, que := stats.SummarizeLatency(lats), stats.SummarizeLatency(queues)
 	return Summary{
 		Batches:   len(r.results),
 		Makespan:  makespan,
-		MeanLatMs: stats.Mean(lats),
-		P50LatMs:  stats.Percentile(lats, 50),
-		P90LatMs:  stats.Percentile(lats, 90),
-		P99LatMs:  stats.Percentile(lats, 99),
-		MeanQueMs: stats.Mean(queues),
-		P50QueMs:  stats.Percentile(queues, 50),
-		P99QueMs:  stats.Percentile(queues, 99),
+		MeanLatMs: lat.Mean,
+		P50LatMs:  lat.P50,
+		P90LatMs:  lat.P90,
+		P99LatMs:  lat.P99,
+		MeanQueMs: que.Mean,
+		P50QueMs:  que.P50,
+		P99QueMs:  que.P99,
 		Results:   r.results,
 	}
 }

@@ -1,0 +1,84 @@
+package sched
+
+import (
+	"mlimp/internal/event"
+	"mlimp/internal/isa"
+)
+
+// Analytical-cost memoization.
+//
+// The schedulers evaluate the Section III-C model t(x,m) thousands of
+// times per batch: every sort comparison in the inter/intra-queue
+// adjustments, every knee search, and every dispatcher routing decision
+// re-derives the same per-(job-shape, target, allocation) cycle count.
+// The model is a pure function of the job's Profile and the layer's
+// immutable configuration (the DDR StreamTime term is closed-form and
+// stateless), and Profile is a comparable value type — so the System
+// memoizes it behind a map keyed by the profile value itself. Two jobs
+// sharing a shape (every job of one app does) share cache lines.
+//
+// A System is not safe for concurrent use — the DDR controller already
+// accumulates access statistics — so plain maps suffice; parallel
+// callers (experiments.RunAll, parallel kernels) each own their System.
+//
+// KneeAlloc additionally keys on the layer capacity, the one mutable
+// input (internal/cluster scales capacities at node construction), so a
+// resized layer can never serve a stale knee.
+
+type profKey struct {
+	p      Profile
+	t      isa.Target
+	arrays int
+}
+
+type kneeKey struct {
+	p        Profile
+	t        isa.Target
+	capacity int
+}
+
+// CacheStats reports the System's cost-model memoization counters, a
+// visibility hook for tests and perf investigations.
+type CacheStats struct {
+	ModelHits, ModelMisses int64
+	KneeHits, KneeMisses   int64
+}
+
+// CacheStats returns the memo hit/miss counters accumulated so far.
+func (s *System) CacheStats() CacheStats { return s.cacheStats }
+
+// memoProfileTime answers profileTime from the memo, computing and
+// filling on miss. The maps are lazily initialised because Systems are
+// also built as composite literals (single-layer oracle systems).
+func (s *System) memoProfileTime(p Profile, t isa.Target, arrays int) event.Time {
+	k := profKey{p: p, t: t, arrays: arrays}
+	if v, ok := s.profMemo[k]; ok {
+		s.cacheStats.ModelHits++
+		return v
+	}
+	v := s.computeProfileTime(p, t, arrays)
+	if s.profMemo == nil {
+		s.profMemo = make(map[profKey]event.Time, 256)
+	}
+	s.profMemo[k] = v
+	s.cacheStats.ModelMisses++
+	return v
+}
+
+// memoKneeAlloc answers KneeAlloc from the memo, keyed by the layer's
+// current capacity.
+func (s *System) memoKneeAlloc(p Profile, t isa.Target, capacity int) (int, bool) {
+	if v, ok := s.kneeMemo[kneeKey{p: p, t: t, capacity: capacity}]; ok {
+		s.cacheStats.KneeHits++
+		return v, true
+	}
+	return 0, false
+}
+
+func (s *System) storeKneeAlloc(p Profile, t isa.Target, capacity, alloc int) {
+	if s.kneeMemo == nil {
+		s.kneeMemo = make(map[kneeKey]int, 64)
+	}
+	s.kneeMemo[kneeKey{p: p, t: t, capacity: capacity}] = alloc
+	s.cacheStats.KneeMisses++
+}

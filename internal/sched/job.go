@@ -85,10 +85,16 @@ type Job struct {
 func (j *Job) String() string { return fmt.Sprintf("job%d(%s)", j.ID, j.Name) }
 
 // System is the set of memory layers available to the scheduler plus the
-// shared DDR4 path for loads and stores.
+// shared DDR4 path for loads and stores. It memoizes the analytical
+// cost model (see costcache.go); like the DDR controller it wraps, a
+// System is not safe for concurrent use.
 type System struct {
 	Layers map[isa.Target]*Layer
 	DDR    *mainmem.Controller
+
+	profMemo   map[profKey]event.Time
+	kneeMemo   map[kneeKey]int
+	cacheStats CacheStats
 }
 
 // Layer is one computable memory exposed to the scheduler.
@@ -145,10 +151,18 @@ func (s *System) ModelTime(j *Job, t isa.Target, arrays int) event.Time {
 	return s.profileTime(p, t, arrays)
 }
 
+// profileTime evaluates the model through the System's memo (the hot
+// entry point for ModelTime, KneeAlloc and the schedulers).
 func (s *System) profileTime(p Profile, t isa.Target, arrays int) event.Time {
 	if arrays <= 0 {
 		panic("sched: non-positive allocation")
 	}
+	return s.memoProfileTime(p, t, arrays)
+}
+
+// computeProfileTime evaluates Equations 1-3 from scratch — pure in
+// (p, t, arrays) given the layer's immutable configuration.
+func (s *System) computeProfileTime(p Profile, t isa.Target, arrays int) event.Time {
 	l := s.Layers[t]
 	clock := l.Cfg.Clock()
 
@@ -217,6 +231,9 @@ const kneeGridPoints = 48
 // time curve t(x,m): the paper picks the m that maximises the angular
 // speed of the tangent to the (normalised) curve, which avoids the
 // overprovisioning that plain argmin produces once the curve flattens.
+// The knee is memoized per (profile, target, capacity) — the grid
+// search below samples the model at kneeGridPoints allocations, and
+// every job of one app shares the same knee.
 func (s *System) KneeAlloc(j *Job, t isa.Target) int {
 	p, ok := j.Est[t]
 	if !ok {
@@ -227,6 +244,16 @@ func (s *System) KneeAlloc(j *Job, t isa.Target) int {
 	if maxM < 1 {
 		return 1
 	}
+	if knee, ok := s.memoKneeAlloc(p, t, maxM); ok {
+		return knee
+	}
+	knee := s.kneeSearch(p, t, maxM)
+	s.storeKneeAlloc(p, t, maxM, knee)
+	return knee
+}
+
+// kneeSearch runs the grid search for the knee of t(x,m) on [1, maxM].
+func (s *System) kneeSearch(p Profile, t isa.Target, maxM int) int {
 	// Geometric grid over [1, maxM].
 	ms := make([]int, 0, kneeGridPoints)
 	prev := 0

@@ -106,6 +106,11 @@ func Percentile(xs []float64, p float64) float64 {
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// percentileSorted is Percentile on an already sorted non-empty slice.
+func percentileSorted(sorted []float64, p float64) float64 {
 	if p <= 0 {
 		return sorted[0]
 	}
@@ -120,6 +125,33 @@ func Percentile(xs []float64, p float64) float64 {
 	}
 	frac := rank - float64(lo)
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// LatencyStats is the serving-latency digest shared by the runtime and
+// cluster layers: mean plus the tail percentiles operators watch. One
+// type for any unit; by repo convention the samples are milliseconds.
+type LatencyStats struct {
+	Mean, P50, P90, P99 float64
+}
+
+// SummarizeLatency digests xs into LatencyStats with a single sort
+// (Percentile re-sorts per call — four quantiles of one large sample
+// should not pay four sorts). An empty sample returns the zero digest,
+// matching the "no completed batches summarise to zeros" contract of
+// the serving layers rather than Percentile's NaN; a single sample puts
+// that value in every field.
+func SummarizeLatency(xs []float64) LatencyStats {
+	if len(xs) == 0 {
+		return LatencyStats{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return LatencyStats{
+		Mean: Mean(xs),
+		P50:  percentileSorted(sorted, 50),
+		P90:  percentileSorted(sorted, 90),
+		P99:  percentileSorted(sorted, 99),
+	}
 }
 
 // Median returns the 50th percentile of xs.

@@ -211,3 +211,43 @@ func TestR2UpperBoundProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSummarizeLatencyEmpty(t *testing.T) {
+	if got := SummarizeLatency(nil); got != (LatencyStats{}) {
+		t.Errorf("empty sample = %+v, want zero digest", got)
+	}
+}
+
+func TestSummarizeLatencySingleSample(t *testing.T) {
+	got := SummarizeLatency([]float64{3.5})
+	want := LatencyStats{Mean: 3.5, P50: 3.5, P90: 3.5, P99: 3.5}
+	if got != want {
+		t.Errorf("single sample = %+v, want %+v", got, want)
+	}
+}
+
+// Property: the one-sort digest agrees with per-call Percentile on the
+// same sample, and leaves the input unmodified.
+func TestSummarizeLatencyMatchesPercentile(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+rng.Intn(40))
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		orig := append([]float64(nil), xs...)
+		got := SummarizeLatency(xs)
+		for i := range xs {
+			if xs[i] != orig[i] {
+				return false
+			}
+		}
+		return got.Mean == Mean(xs) &&
+			got.P50 == Percentile(xs, 50) &&
+			got.P90 == Percentile(xs, 90) &&
+			got.P99 == Percentile(xs, 99)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,102 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mlimp/internal/fixed"
+)
+
+// gemmShapes are the small/medium/large GEMM benchmark points: small
+// stays under the serial threshold, large is deep in row-parallel
+// territory.
+var gemmShapes = []struct{ m, k, n int }{
+	{32, 32, 32},
+	{128, 96, 128},
+	{384, 256, 384},
+}
+
+func BenchmarkGEMM(b *testing.B) {
+	for _, s := range gemmShapes {
+		rng := rand.New(rand.NewSource(1))
+		a := RandomDense(rng, s.m, s.k, 1)
+		x := RandomDense(rng, s.k, s.n, 1)
+		b.Run(fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				GEMM(a, x)
+			}
+		})
+		b.Run(fmt.Sprintf("%dx%dx%d/serial", s.m, s.k, s.n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c := NewDense(a.Rows, x.Cols)
+				gemmRows(a, x, c, 0, a.Rows)
+			}
+		})
+	}
+}
+
+// spmmShapes are synthetic aggregation workloads: rows x rows adjacency
+// at the given average degree, multiplied into a feature matrix.
+var spmmShapes = []struct {
+	rows, deg, feat int
+}{
+	{256, 8, 32},
+	{2048, 8, 64},
+	{8192, 16, 64},
+}
+
+func benchCSR(rng *rand.Rand, rows, deg int) *CSR {
+	coords := make([]Coord, 0, rows*deg)
+	for r := 0; r < rows; r++ {
+		for d := 0; d < deg; d++ {
+			coords = append(coords, Coord{Row: r, Col: rng.Intn(rows), Val: fixed.FromFloat(0.25)})
+		}
+	}
+	return FromCOO(rows, rows, coords)
+}
+
+func BenchmarkSpMM(b *testing.B) {
+	for _, s := range spmmShapes {
+		rng := rand.New(rand.NewSource(2))
+		a := benchCSR(rng, s.rows, s.deg)
+		x := RandomDense(rng, s.rows, s.feat, 1)
+		b.Run(fmt.Sprintf("n%d_d%d_f%d", s.rows, s.deg, s.feat), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				SpMM(a, x)
+			}
+		})
+		b.Run(fmt.Sprintf("n%d_d%d_f%d/serial", s.rows, s.deg, s.feat), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c := NewDense(a.Rows, x.Cols)
+				spmmRows(a, x, c, 0, a.Rows)
+			}
+		})
+	}
+}
+
+func BenchmarkSpMV(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	a := benchCSR(rng, 16384, 16)
+	x := make([]fixed.Num, a.Cols)
+	for i := range x {
+		x[i] = fixed.FromFloat(rng.Float64())
+	}
+	b.Run("n16384_d16", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			SpMV(a, x)
+		}
+	})
+	b.Run("n16384_d16/serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			y := make([]fixed.Num, a.Rows)
+			spmvRows(a, x, y, 0, a.Rows)
+		}
+	})
+}

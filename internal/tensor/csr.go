@@ -109,13 +109,26 @@ func (m *CSR) String() string {
 }
 
 // SpMM computes C = A*B where A is sparse and B dense; the aggregation
-// kernel of GNNs (B = normalised-adjacency * features).
+// kernel of GNNs (B = normalised-adjacency * features). Large products
+// are partitioned across goroutines by nonzero count; each goroutine
+// owns a disjoint range of output rows, so the fixed-point result is
+// bit-identical at any parallelism (see spmmRows).
 func SpMM(a *CSR, b *Dense) *Dense {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: SpMM shape mismatch %v x %v", a, b))
 	}
 	c := NewDense(a.Rows, b.Cols)
-	for r := 0; r < a.Rows; r++ {
+	work := int64(a.NNZ()) * int64(b.Cols)
+	forEachRowChunkNNZ(a, kernelWorkers(a.Rows, work), func(lo, hi int) {
+		spmmRows(a, b, c, lo, hi)
+	})
+	return c
+}
+
+// spmmRows computes output rows [lo, hi) of C = A*B — the serial kernel
+// body both the single-threaded and row-parallel paths share.
+func spmmRows(a *CSR, b, c *Dense, lo, hi int) {
+	for r := lo; r < hi; r++ {
 		cols, vals := a.RowEntries(r)
 		crow := c.Row(r)
 		for i, col := range cols {
@@ -126,16 +139,25 @@ func SpMM(a *CSR, b *Dense) *Dense {
 			}
 		}
 	}
-	return c
 }
 
-// SpMV computes y = A*x for a dense vector x (len == A.Cols).
+// SpMV computes y = A*x for a dense vector x (len == A.Cols). Like SpMM
+// it row-partitions across goroutines above the serial threshold, with
+// bit-identical results.
 func SpMV(a *CSR, x []fixed.Num) []fixed.Num {
 	if a.Cols != len(x) {
 		panic("tensor: SpMV shape mismatch")
 	}
 	y := make([]fixed.Num, a.Rows)
-	for r := 0; r < a.Rows; r++ {
+	forEachRowChunkNNZ(a, kernelWorkers(a.Rows, int64(a.NNZ())), func(lo, hi int) {
+		spmvRows(a, x, y, lo, hi)
+	})
+	return y
+}
+
+// spmvRows computes y[lo:hi] of y = A*x.
+func spmvRows(a *CSR, x, y []fixed.Num, lo, hi int) {
+	for r := lo; r < hi; r++ {
 		cols, vals := a.RowEntries(r)
 		var acc fixed.Num
 		for i, col := range cols {
@@ -143,7 +165,6 @@ func SpMV(a *CSR, x []fixed.Num) []fixed.Num {
 		}
 		y[r] = acc
 	}
-	return y
 }
 
 // VerticalSlice returns the sub-matrix of columns [lo, hi) as a new CSR

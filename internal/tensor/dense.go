@@ -96,13 +96,26 @@ func (d *Dense) SizeBytes() int64 { return int64(len(d.Data)) * 2 }
 func (d *Dense) String() string { return fmt.Sprintf("Dense(%dx%d)", d.Rows, d.Cols) }
 
 // GEMM computes C = A*B in fixed point and returns C. It panics on a
-// shape mismatch.
+// shape mismatch. Large products are row-partitioned across goroutines;
+// each goroutine owns a disjoint range of output rows and computes them
+// exactly as the serial sweep would, so the fixed-point result is
+// bit-identical at any parallelism (see gemmRows).
 func GEMM(a, b *Dense) *Dense {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: GEMM shape mismatch %v x %v", a, b))
 	}
 	c := NewDense(a.Rows, b.Cols)
-	for i := 0; i < a.Rows; i++ {
+	work := int64(a.Rows) * int64(a.Cols) * int64(b.Cols)
+	forEachRowChunk(a.Rows, kernelWorkers(a.Rows, work), func(lo, hi int) {
+		gemmRows(a, b, c, lo, hi)
+	})
+	return c
+}
+
+// gemmRows computes output rows [lo, hi) of C = A*B — the serial kernel
+// body both the single-threaded and row-parallel paths share.
+func gemmRows(a, b, c *Dense, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		for k := 0; k < a.Cols; k++ {
 			av := a.At(i, k)
 			if av == 0 {
@@ -115,7 +128,6 @@ func GEMM(a, b *Dense) *Dense {
 			}
 		}
 	}
-	return c
 }
 
 // Vadd computes C = A+B elementwise and returns C.

@@ -1,0 +1,89 @@
+package tensor
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// parallelMinWork is the per-goroutine floor, in fused multiply-adds, of
+// the row-parallel kernels. Below roughly this much work a goroutine's
+// spawn/join cost exceeds what it computes, so small shapes keep the
+// serial path (and its exact performance profile). At ~1–2 ns per
+// fixed-point FMA the floor corresponds to ~100 µs of serial work.
+const parallelMinWork = 1 << 16
+
+// kernelWorkers returns how many goroutines a kernel with the given
+// total work (fused multiply-adds) and output-row count should use:
+// never more than GOMAXPROCS, never more than one per row, and never so
+// many that a goroutine gets less than parallelMinWork. A result < 2
+// means "stay serial".
+func kernelWorkers(rows int, work int64) int {
+	n := runtime.GOMAXPROCS(0)
+	if byWork := int(work / parallelMinWork); byWork < n {
+		n = byWork
+	}
+	if rows < n {
+		n = rows
+	}
+	return n
+}
+
+// forEachRowChunk partitions [0, rows) into n contiguous disjoint
+// chunks and runs body on each concurrently, blocking until all finish.
+// Each chunk owns its output rows exclusively, so fixed-point results
+// are bit-identical to a serial sweep regardless of interleaving — the
+// determinism invariant every parallel kernel below relies on. n < 2
+// degenerates to a serial call on the calling goroutine.
+func forEachRowChunk(rows, n int, body func(lo, hi int)) {
+	if n < 2 {
+		body(0, rows)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		lo, hi := rows*w/n, rows*(w+1)/n
+		go func() {
+			defer wg.Done()
+			body(lo, hi)
+		}()
+	}
+	wg.Wait()
+}
+
+// forEachRowChunkNNZ is forEachRowChunk for CSR row sweeps: chunk
+// boundaries are chosen so each goroutine gets an approximately equal
+// share of the nonzeros (via RowPtr), not an equal share of the rows —
+// power-law graphs concentrate most work in a few hub rows, and an
+// even row split would leave one goroutine holding them all. The
+// partition depends only on the matrix structure, so it is
+// deterministic.
+func forEachRowChunkNNZ(a *CSR, n int, body func(lo, hi int)) {
+	if n < 2 {
+		body(0, a.Rows)
+		return
+	}
+	nnz := a.NNZ()
+	bounds := make([]int, n+1)
+	bounds[n] = a.Rows
+	for w := 1; w < n; w++ {
+		target := int32(nnz * w / n)
+		// First row whose cumulative nonzero count reaches the target.
+		lo := sort.Search(a.Rows, func(r int) bool { return a.RowPtr[r+1] >= target })
+		if lo < bounds[w-1] {
+			lo = bounds[w-1] // keep chunks non-overlapping on empty prefixes
+		}
+		bounds[w] = lo
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		lo, hi := bounds[w], bounds[w+1]
+		go func() {
+			defer wg.Done()
+			body(lo, hi)
+		}()
+	}
+	wg.Wait()
+}

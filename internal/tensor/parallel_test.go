@@ -1,0 +1,165 @@
+package tensor
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mlimp/internal/fixed"
+)
+
+// randomCSR builds a random sparse matrix with roughly density*rows*cols
+// nonzeros, including fully empty rows, the shapes that stress the
+// nnz-balanced chunking.
+func randomCSR(rng *rand.Rand, rows, cols int, density float64) *CSR {
+	var coords []Coord
+	n := int(density * float64(rows) * float64(cols))
+	for i := 0; i < n; i++ {
+		coords = append(coords, Coord{
+			Row: rng.Intn(rows), Col: rng.Intn(cols),
+			Val: fixed.FromFloat(rng.Float64()*2 - 1),
+		})
+	}
+	return FromCOO(rows, cols, coords)
+}
+
+// TestGEMMParallelMatchesSerial checks the tentpole invariant: the
+// row-partitioned GEMM is bit-identical to the serial sweep at every
+// worker count, including ones that do not divide the row count.
+func TestGEMMParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := RandomDense(rng, 129, 96, 1)
+	b := RandomDense(rng, 96, 70, 1)
+	want := NewDense(a.Rows, b.Cols)
+	gemmRows(a, b, want, 0, a.Rows)
+	if got := GEMM(a, b); !got.Equal(want) {
+		t.Fatal("GEMM (auto parallelism) differs from serial sweep")
+	}
+	for _, n := range []int{2, 3, 7, 129, 200} {
+		got := NewDense(a.Rows, b.Cols)
+		w := n
+		if w > a.Rows {
+			w = a.Rows
+		}
+		forEachRowChunk(a.Rows, w, func(lo, hi int) { gemmRows(a, b, got, lo, hi) })
+		if !got.Equal(want) {
+			t.Fatalf("GEMM with %d workers differs from serial", n)
+		}
+	}
+}
+
+// TestSpMMParallelMatchesSerial does the same for the sparse
+// aggregation kernel, with empty rows and hub rows in the mix.
+func TestSpMMParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randomCSR(rng, 300, 200, 0.05)
+	// A hub row holding a large share of the nonzeros.
+	var hub []Coord
+	for c := 0; c < 200; c++ {
+		hub = append(hub, Coord{Row: 150, Col: c, Val: fixed.FromFloat(0.5)})
+	}
+	for r := 0; r < a.Rows; r++ {
+		cols, vals := a.RowEntries(r)
+		for i := range cols {
+			hub = append(hub, Coord{Row: r, Col: int(cols[i]), Val: vals[i]})
+		}
+	}
+	a = FromCOO(300, 200, hub)
+	b := RandomDense(rng, 200, 48, 1)
+	want := NewDense(a.Rows, b.Cols)
+	spmmRows(a, b, want, 0, a.Rows)
+	if got := SpMM(a, b); !got.Equal(want) {
+		t.Fatal("SpMM (auto parallelism) differs from serial sweep")
+	}
+	for _, n := range []int{2, 3, 5, 16} {
+		got := NewDense(a.Rows, b.Cols)
+		forEachRowChunkNNZ(a, n, func(lo, hi int) { spmmRows(a, b, got, lo, hi) })
+		if !got.Equal(want) {
+			t.Fatalf("SpMM with %d workers differs from serial", n)
+		}
+	}
+}
+
+// TestSpMVParallelMatchesSerial covers the vector kernel.
+func TestSpMVParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randomCSR(rng, 500, 400, 0.03)
+	x := make([]fixed.Num, 400)
+	for i := range x {
+		x[i] = fixed.FromFloat(rng.Float64()*2 - 1)
+	}
+	want := make([]fixed.Num, a.Rows)
+	spmvRows(a, x, want, 0, a.Rows)
+	got := SpMV(a, x)
+	for _, n := range []int{2, 4, 9} {
+		forced := make([]fixed.Num, a.Rows)
+		forEachRowChunkNNZ(a, n, func(lo, hi int) { spmvRows(a, x, forced, lo, hi) })
+		for r := range want {
+			if got[r] != want[r] || forced[r] != want[r] {
+				t.Fatalf("SpMV mismatch at row %d (workers=%d)", r, n)
+			}
+		}
+	}
+}
+
+// TestRowChunksCoverExactly checks both partitioners produce disjoint
+// chunks that cover every row exactly once, for degenerate shapes too.
+func TestRowChunksCoverExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, rows := range []int{0, 1, 2, 7, 100} {
+		for _, n := range []int{1, 2, 3, 8, 31} {
+			var mu sync.Mutex
+			seen := make([]int, rows)
+			w := n
+			if w > rows {
+				w = rows
+			}
+			forEachRowChunk(rows, w, func(lo, hi int) {
+				mu.Lock()
+				for r := lo; r < hi; r++ {
+					seen[r]++
+				}
+				mu.Unlock()
+			})
+			for r, c := range seen {
+				if c != 1 {
+					t.Fatalf("rows=%d n=%d: row %d covered %d times", rows, n, r, c)
+				}
+			}
+		}
+	}
+	for trial := 0; trial < 20; trial++ {
+		rows := 1 + rng.Intn(64)
+		m := randomCSR(rng, rows, 32, rng.Float64()*0.3)
+		for _, n := range []int{2, 3, 8} {
+			var mu sync.Mutex
+			seen := make([]int, rows)
+			forEachRowChunkNNZ(m, n, func(lo, hi int) {
+				mu.Lock()
+				for r := lo; r < hi; r++ {
+					seen[r]++
+				}
+				mu.Unlock()
+			})
+			for r, c := range seen {
+				if c != 1 {
+					t.Fatalf("nnz chunks: rows=%d n=%d row %d covered %d times", rows, n, r, c)
+				}
+			}
+		}
+	}
+}
+
+// TestKernelWorkersBounds pins the serial-threshold policy: tiny work
+// stays serial, huge work is capped by rows and GOMAXPROCS.
+func TestKernelWorkersBounds(t *testing.T) {
+	if w := kernelWorkers(1000, 100); w >= 2 {
+		t.Errorf("tiny work got %d workers, want serial", w)
+	}
+	if w := kernelWorkers(1, 1<<30); w > 1 {
+		t.Errorf("single row got %d workers", w)
+	}
+	if w := kernelWorkers(1<<20, 1<<40); w < 1 {
+		t.Errorf("huge work got %d workers", w)
+	}
+}
