@@ -21,6 +21,7 @@ import (
 
 	"mlimp/internal/cluster"
 	"mlimp/internal/event"
+	"mlimp/internal/fault"
 	"mlimp/internal/isa"
 	"mlimp/internal/runtime"
 	"mlimp/internal/workload"
@@ -80,6 +81,22 @@ func main() {
 	retries := flag.Int("retries", 4, "redispatch attempts before shedding")
 	backoffMs := flag.Float64("backoff-ms", 0.5, "initial retry backoff, doubling per attempt")
 	seed := flag.Int64("seed", 1, "random seed (arrivals and job mix)")
+	faultSeed := flag.Int64("fault-seed", 0,
+		"fault-plan seed; 0 disables the generated crash/array-fault schedule")
+	arrayFaultRate := flag.Float64("array-fault-rate", 0.5,
+		"expected array faults per node over the run (with -fault-seed)")
+	crashRate := flag.Float64("crash-rate", 0.5,
+		"expected crash windows per node over the run (with -fault-seed)")
+	meanOutageMs := flag.Float64("mean-outage-ms", 20, "mean outage length for crashes and transient faults")
+	execErrorProb := flag.Float64("exec-error-prob", 0, "per-execution batch failure probability")
+	deadlineMs := flag.Float64("deadline-ms", 0, "per-batch completion deadline; 0 disables")
+	redispatch := flag.Int("redispatch", cluster.DefaultMaxRedispatch,
+		"failure re-dispatch budget per batch before dead-lettering")
+	breakerK := flag.Int("breaker-k", cluster.DefaultBreakerK,
+		"consecutive node failures that open its circuit breaker")
+	breakerCooldownMs := flag.Float64("breaker-cooldown-ms", 0,
+		"open-breaker cooldown before a half-open probe; 0 means the default")
+	heartbeatMs := flag.Float64("heartbeat-ms", 0, "node heartbeat period; 0 means the default")
 	flag.Parse()
 
 	cfgs, err := parseFleet(*nodes)
@@ -102,18 +119,64 @@ func main() {
 		Backoff:    event.Time(*backoffMs * float64(event.Millisecond)),
 	}
 
+	// Build the fault plan once so every policy faces the identical
+	// failure schedule; a fault.Plan is read-only during a run.
+	var plan *fault.Plan
+	if *faultSeed != 0 {
+		var names []string
+		for _, c := range cfgs {
+			names = append(names, c.Name)
+		}
+		gap := event.Time(*meanGapMs * float64(event.Millisecond))
+		plan, err = fault.Generate(*faultSeed, fault.GenConfig{
+			Nodes:              names,
+			Horizon:            event.Time(*batches) * gap,
+			ArrayFaultsPerNode: *arrayFaultRate,
+			CrashesPerNode:     *crashRate,
+			MeanOutage:         event.Time(*meanOutageMs * float64(event.Millisecond)),
+			ExecErrorProb:      *execErrorProb,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mlimp-serve: %v\n", err)
+			os.Exit(1)
+		}
+	} else if *execErrorProb > 0 {
+		plan = &fault.Plan{Seed: *seed, ExecErrorProb: *execErrorProb}
+	}
+	faulty := plan != nil || *deadlineMs > 0
+
 	fmt.Printf("fleet: %d nodes (%s), %d batches x %d jobs, mean gap %.2fms, seed %d\n\n",
 		len(cfgs), *nodes, *batches, *batchSize, *meanGapMs, *seed)
+	if plan != nil {
+		fmt.Println(plan)
+	}
 	for _, name := range policies {
 		p, _ := cluster.PolicyByName(name)
 		d := cluster.NewDispatcher(p, adm, cfgs...)
+		if faulty {
+			err := d.EnableFaults(cluster.FaultConfig{
+				Plan:            plan,
+				Deadline:        event.Time(*deadlineMs * float64(event.Millisecond)),
+				MaxRedispatch:   *redispatch,
+				BreakerK:        *breakerK,
+				BreakerCooldown: event.Time(*breakerCooldownMs * float64(event.Millisecond)),
+				Heartbeat:       event.Time(*heartbeatMs * float64(event.Millisecond)),
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mlimp-serve: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		// Re-seeding per policy holds the workload fixed, so summaries
 		// compare policies and nothing else.
 		rng := rand.New(rand.NewSource(*seed))
 		gap := event.Time(*meanGapMs * float64(event.Millisecond))
 		for i, at := range cluster.PoissonArrivals(rng, *batches, gap) {
-			d.Submit(&runtime.Batch{ID: i, Arrival: at,
-				Jobs: workload.RandomJobs(rng, *batchSize, i*1000)})
+			if err := d.Submit(&runtime.Batch{ID: i, Arrival: at,
+				Jobs: workload.RandomJobs(rng, *batchSize, i*1000)}); err != nil {
+				fmt.Fprintf(os.Stderr, "mlimp-serve: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		fmt.Println(d.Run())
 	}

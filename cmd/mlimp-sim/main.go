@@ -8,6 +8,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"math/rand"
 	"os"
 	"strings"
@@ -99,17 +100,22 @@ func main() {
 	// latency distribution (p50/p90/p99 plus queue-delay percentiles)
 	// instead of one offline makespan.
 	if *intervalMs > 0 {
-		rt := runtime.New(sys.Sys, sc)
+		rt, err := runtime.New(sys.Sys, sc)
+		if err != nil {
+			log.Fatal(err)
+		}
 		for i := range w.Batches {
 			single := &gnn.Workload{
 				Dataset: w.Dataset, Model: w.Model, Graph: w.Graph,
 				Batches: w.Batches[i : i+1],
 			}
-			rt.Submit(&runtime.Batch{
+			if err := rt.Submit(&runtime.Batch{
 				ID:      i,
 				Arrival: event.Time(float64(i) * *intervalMs * float64(event.Millisecond)),
 				Jobs:    single.AllJobs(p, sys.Sys),
-			})
+			}); err != nil {
+				log.Fatal(err)
+			}
 		}
 		fmt.Printf("serving %d batches every %.2fms with the %s scheduler on %v\n",
 			len(w.Batches), *intervalMs, sc.Name(), targets)

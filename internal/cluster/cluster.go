@@ -55,10 +55,114 @@ type Node struct {
 	// re-estimates the same batch against the same nodes; the planning
 	// pass behind each estimate is a full Algorithm-2 schedule, by far
 	// the dispatcher's hottest computation. Estimates assume an idle
-	// node and the node's system is fixed after construction, so cached
-	// entries never go stale.
+	// node; the system is fixed after construction except for fault
+	// degradation, which invalidates the cache (see degrade/restore).
 	estCache           map[string]event.Time
 	estHits, estMisses int64
+
+	// Failure state (see fault.go): ground-truth crash flag, the
+	// monitor's belief, liveness and degradation bookkeeping, and the
+	// per-node circuit breaker.
+	down         bool
+	detectedDown bool
+	lastBeat     event.Time
+	arraysLost   int
+	failures     int // exec errors + deadline timeouts attributed here
+	crashes      int
+	breaker      *breaker
+	onResult     func(n *Node, res runtime.BatchResult, err error)
+}
+
+// Health is a node's condition as the fabric sees it.
+type Health int
+
+const (
+	// Healthy nodes have full capacity and a closed breaker.
+	Healthy Health = iota
+	// Degraded nodes serve with lost arrays or a tripped breaker.
+	Degraded
+	// DownHealth nodes are crashed or declared dead by the monitor.
+	DownHealth
+)
+
+// String renders the health state.
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	}
+	return "down"
+}
+
+// Health classifies the node right now.
+func (n *Node) Health() Health {
+	if n.down || n.detectedDown {
+		return DownHealth
+	}
+	if n.arraysLost > 0 || (n.breaker != nil && n.breaker.state != breakerClosed) {
+		return Degraded
+	}
+	return Healthy
+}
+
+// ArraysLost returns the arrays currently lost to injected faults.
+func (n *Node) ArraysLost() int { return n.arraysLost }
+
+// crash halts the node at the current instant: the executing batch
+// loses its work and nothing further starts until revive. Work already
+// admitted strands here until the heartbeat monitor declares the node
+// dead and evicts it.
+func (n *Node) crash() {
+	if n.down {
+		return
+	}
+	n.down = true
+	n.crashes++
+	n.runningID = -1
+	n.rt.Halt()
+}
+
+// revive restarts a crashed node; heartbeats resume immediately.
+func (n *Node) revive(now event.Time) {
+	if !n.down {
+		return
+	}
+	n.down = false
+	n.lastBeat = now
+	n.rt.Resume()
+}
+
+// degrade removes arrays from one layer (flooring at one array) and
+// invalidates the estimate cache: stale idle-node estimates against the
+// healthy capacity would misroute every later admission.
+func (n *Node) degrade(t isa.Target, arrays int) {
+	if removed := n.Sys.Degrade(t, arrays); removed > 0 {
+		n.arraysLost += removed
+		n.estCache = map[string]event.Time{}
+	}
+}
+
+// restore returns previously lost arrays to a layer.
+func (n *Node) restore(t isa.Target, arrays int) {
+	if returned := n.Sys.Restore(t, arrays); returned > 0 {
+		n.arraysLost -= returned
+		n.estCache = map[string]event.Time{}
+	}
+}
+
+// abandon releases the booking of a batch that will not complete here
+// (evicted from a dead node or aborted on deadline), so PredictedDrain
+// and the policies stop charging this node for it.
+func (n *Node) abandon(id int) {
+	if est, ok := n.estimates[id]; ok {
+		n.predicted -= est
+		delete(n.estimates, id)
+	}
+	if n.runningID == id {
+		n.runningID = -1
+	}
 }
 
 // NewNode builds a node on the shared engine.
@@ -84,10 +188,14 @@ func NewNode(eng *event.Engine, cfg NodeConfig) *Node {
 	if name == "" {
 		name = fmt.Sprintf("node-%v", cfg.Targets)
 	}
+	rt, err := runtime.NewOn(eng, sys, scheduler)
+	if err != nil {
+		panic("cluster: " + err.Error()) // all three are non-nil above
+	}
 	n := &Node{
 		Name:      name,
 		Sys:       sys,
-		rt:        runtime.NewOn(eng, sys, scheduler),
+		rt:        rt,
 		estimates: map[int]event.Time{},
 		runningID: -1,
 		estSched:  sched.NewGlobal(),
@@ -96,11 +204,14 @@ func NewNode(eng *event.Engine, cfg NodeConfig) *Node {
 	n.rt.OnStart = func(b *runtime.Batch, at event.Time) {
 		n.runningID, n.runStart = b.ID, at
 	}
-	n.rt.OnComplete = func(res runtime.BatchResult) {
+	n.rt.OnComplete = func(res runtime.BatchResult, err error) {
 		n.busy += res.Completed - res.Start
 		n.predicted -= n.estimates[res.ID]
 		delete(n.estimates, res.ID)
 		n.runningID = -1
+		if n.onResult != nil {
+			n.onResult(n, res, err)
+		}
 	}
 	return n
 }
@@ -197,5 +308,7 @@ func (n *Node) accept(b *runtime.Batch) {
 	n.estimates[b.ID] = est
 	n.predicted += est
 	n.accepted++
-	n.rt.Enqueue(b)
+	if err := n.rt.Enqueue(b); err != nil {
+		panic("cluster: " + err.Error()) // batches are validated at Submit
+	}
 }

@@ -250,10 +250,6 @@ func TestPanics(t *testing.T) {
 		func() { NewDispatcher(nil, Admission{}, fullNode("a")) },
 		func() { NewDispatcher(NewRoundRobin(), Admission{}) },
 		func() { NewNode(&event.Engine{}, NodeConfig{}) },
-		func() {
-			d := NewDispatcher(NewRoundRobin(), Admission{}, fullNode("a"))
-			d.Submit(&runtime.Batch{ID: 0})
-		},
 	} {
 		func() {
 			defer func() {
@@ -263,5 +259,50 @@ func TestPanics(t *testing.T) {
 			}()
 			f()
 		}()
+	}
+}
+
+// TestSubmitErrors: malformed arrivals are rejected with errors, not
+// panics — they come from callers, not from bugs in the fabric.
+func TestSubmitErrors(t *testing.T) {
+	d := NewDispatcher(NewRoundRobin(), Admission{}, fullNode("a"))
+	if err := d.Submit(&runtime.Batch{ID: 0}); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if err := d.Submit(nil); err == nil {
+		t.Error("nil batch accepted")
+	}
+	if err := d.Submit(mkBatch(1, 0, 2)); err != nil {
+		t.Fatalf("valid batch rejected: %v", err)
+	}
+	if err := d.Submit(mkBatch(1, 0, 2)); err == nil {
+		t.Error("duplicate batch ID accepted")
+	}
+	s := d.Run()
+	if s.Submitted != 1 || s.Completed != 1 {
+		t.Errorf("submitted=%d completed=%d, want 1/1", s.Submitted, s.Completed)
+	}
+}
+
+// TestBackoffClamp: the exponential retry backoff must clamp its shift —
+// base<<attempt overflows event.Time into a negative delay around
+// attempt 40, which the engine rejects with a panic.
+func TestBackoffClamp(t *testing.T) {
+	base := DefaultBackoff
+	if d := retryDelay(base, 63); d != base<<maxBackoffShift {
+		t.Errorf("clamped delay = %v, want %v", d, base<<maxBackoffShift)
+	}
+	if d := retryDelay(base, 1000); d <= 0 {
+		t.Errorf("huge attempt produced non-positive delay %v", d)
+	}
+	for attempt := 0; attempt <= maxBackoffShift; attempt++ {
+		if d := retryDelay(base, attempt); d != base<<attempt {
+			t.Errorf("attempt %d: delay = %v, want %v", attempt, d, base<<attempt)
+		}
+	}
+	// Regression: the un-clamped shift is exactly the overflow the old
+	// code computed; prove it really is negative and would have crashed.
+	if bad := base << 63; bad > 0 {
+		t.Error("expected base<<63 to overflow negative")
 	}
 }

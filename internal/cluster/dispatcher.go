@@ -48,6 +48,32 @@ func (a Admission) backoff() event.Time {
 	return DefaultBackoff
 }
 
+// maxBackoffShift caps the exponential-backoff doubling (~0.5s at the
+// default base). Shifting event.Time by the raw attempt count would
+// overflow into a negative delay around attempt 40 and panic the
+// engine; beyond the cap the delay simply stays at its maximum.
+const maxBackoffShift = 10
+
+// retryDelay is the clamped exponential backoff for the given attempt.
+func retryDelay(base event.Time, attempt int) event.Time {
+	if attempt > maxBackoffShift {
+		attempt = maxBackoffShift
+	}
+	return base << attempt
+}
+
+// tracker follows one submitted batch to exactly one terminal state:
+// completed, shed, or dead-lettered. The generation counter invalidates
+// deadline timers armed for superseded bookings.
+type tracker struct {
+	b            *runtime.Batch
+	node         *Node // current booking
+	attempts     int   // times accepted by a node (execution starts)
+	redispatches int   // failure-driven re-dispatches consumed
+	gen          int   // bumped per booking and per re-dispatch
+	done         bool
+}
+
 // Dispatcher fronts a fleet of nodes on one shared engine: arrivals are
 // admitted (or shed), routed by the policy, and drained deterministically.
 type Dispatcher struct {
@@ -55,10 +81,20 @@ type Dispatcher struct {
 	nodes  []*Node
 	policy Policy
 	adm    Admission
+	faults *FaultConfig // nil: failure-aware mode off (see fault.go)
 
-	submitted int
-	shed      int
-	retries   int
+	trk         map[int]*tracker
+	pending     int // submitted batches not yet in a terminal state
+	lastArrival event.Time
+
+	submitted    int
+	completed    int
+	shed         int
+	retries      int
+	redispatches int
+	deadLettered int
+	execErrors   int
+	timeouts     int
 }
 
 // NewDispatcher builds a fleet from node configs. It owns the shared
@@ -71,12 +107,14 @@ func NewDispatcher(policy Policy, adm Admission, cfgs ...NodeConfig) *Dispatcher
 		panic("cluster: fleet needs at least one node")
 	}
 	eng := &event.Engine{}
-	d := &Dispatcher{eng: eng, policy: policy, adm: adm}
+	d := &Dispatcher{eng: eng, policy: policy, adm: adm, trk: map[int]*tracker{}}
 	for i, cfg := range cfgs {
 		if cfg.Name == "" {
 			cfg.Name = fmt.Sprintf("node%d", i)
 		}
-		d.nodes = append(d.nodes, NewNode(eng, cfg))
+		n := NewNode(eng, cfg)
+		n.onResult = d.onResult
+		d.nodes = append(d.nodes, n)
 	}
 	return d
 }
@@ -89,36 +127,136 @@ func (d *Dispatcher) Engine() *event.Engine { return d.eng }
 func (d *Dispatcher) Nodes() []*Node { return d.nodes }
 
 // Submit registers a batch arrival at b.Arrival. Must be called before
-// Run; arrivals may be submitted in any order.
-func (d *Dispatcher) Submit(b *runtime.Batch) {
-	if len(b.Jobs) == 0 {
-		panic("cluster: empty batch")
+// Run; arrivals may be submitted in any order. A nil or empty batch, or
+// a batch ID already submitted, is rejected — IDs key the exactly-once
+// accounting.
+func (d *Dispatcher) Submit(b *runtime.Batch) error {
+	if b == nil {
+		return runtime.ErrNilBatch
 	}
+	if len(b.Jobs) == 0 {
+		return fmt.Errorf("%w (batch %d)", runtime.ErrEmptyBatch, b.ID)
+	}
+	if _, dup := d.trk[b.ID]; dup {
+		return fmt.Errorf("cluster: duplicate batch ID %d", b.ID)
+	}
+	tr := &tracker{b: b}
+	d.trk[b.ID] = tr
+	d.pending++
 	d.submitted++
-	d.eng.At(b.Arrival, func() { d.dispatch(b, 0) })
+	if b.Arrival > d.lastArrival {
+		d.lastArrival = b.Arrival
+	}
+	d.eng.At(b.Arrival, func() { d.dispatch(b, 0, nil) })
+	return nil
+}
+
+// finish moves a batch to a terminal state exactly once; the caller
+// picks which counter to credit only when finish returns true.
+func (d *Dispatcher) finish(tr *tracker) bool {
+	if tr.done {
+		return false
+	}
+	tr.done = true
+	d.pending--
+	return true
+}
+
+// eligible reports whether a node may be offered this batch right now.
+func (d *Dispatcher) eligible(n *Node, b *runtime.Batch) bool {
+	if n.Outstanding() >= d.adm.queueCap() || !n.CanRun(b.Jobs) {
+		return false
+	}
+	if d.faults != nil {
+		// Routing sees the monitor's belief, not ground truth: a crashed
+		// node stays routable until heartbeats declare it dead, so work
+		// can strand there briefly — the monitor evicts it on detection.
+		if n.detectedDown || !n.breaker.Allow(d.eng.Now()) {
+			return false
+		}
+	}
+	return true
 }
 
 // dispatch routes one arrival: filter to eligible nodes, let the policy
 // pick, and fall back to bounded retry then shed when the whole fleet
-// is at its admission bound.
-func (d *Dispatcher) dispatch(b *runtime.Batch, attempt int) {
-	qcap := d.adm.queueCap()
-	var eligible []*Node
+// is at its admission bound. A re-dispatched batch avoids the node it
+// just failed on unless that node is the only eligible one.
+func (d *Dispatcher) dispatch(b *runtime.Batch, attempt int, avoid *Node) {
+	tr := d.trk[b.ID]
+	if tr == nil || tr.done {
+		return
+	}
+	var eligible, fallback []*Node
 	for _, n := range d.nodes {
-		if n.Outstanding() < qcap && n.CanRun(b.Jobs) {
-			eligible = append(eligible, n)
+		if !d.eligible(n, b) {
+			continue
 		}
+		if n == avoid {
+			fallback = append(fallback, n)
+			continue
+		}
+		eligible = append(eligible, n)
+	}
+	if len(eligible) == 0 {
+		eligible = fallback
 	}
 	if len(eligible) == 0 {
 		if attempt < d.adm.MaxRetries {
 			d.retries++
-			d.eng.After(d.adm.backoff()<<attempt, func() { d.dispatch(b, attempt+1) })
+			d.eng.After(retryDelay(d.adm.backoff(), attempt), func() { d.dispatch(b, attempt+1, avoid) })
 			return
 		}
-		d.shed++
+		if d.finish(tr) {
+			d.shed++
+		}
 		return
 	}
-	d.policy.Pick(eligible, b, d.eng.Now()).accept(b)
+	n := d.policy.Pick(eligible, b, d.eng.Now())
+	tr.node = n
+	tr.gen++
+	tr.attempts++
+	if d.faults != nil {
+		n.breaker.OnPick()
+		if dl := d.faults.Deadline; dl > 0 {
+			gen := tr.gen
+			d.eng.After(dl, func() { d.onDeadline(tr, gen) })
+		}
+	}
+	n.accept(b)
+}
+
+// onResult is every node's completion callback: it settles the batch's
+// tracker — success closes the breaker and completes the batch, an
+// execution error counts against the node and sends the batch back
+// through routing.
+func (d *Dispatcher) onResult(n *Node, res runtime.BatchResult, err error) {
+	tr := d.trk[res.ID]
+	if tr == nil || tr.done {
+		return
+	}
+	tr.gen++ // disarm the deadline for this booking
+	if err == nil {
+		if d.faults != nil {
+			n.breaker.OnSuccess()
+		}
+		if d.finish(tr) {
+			d.completed++
+		}
+		return
+	}
+	d.execErrors++
+	n.failures++
+	if d.faults == nil {
+		// An execution error without failure-aware mode has no
+		// re-dispatch budget; the batch is lost to the dead letter queue.
+		if d.finish(tr) {
+			d.deadLettered++
+		}
+		return
+	}
+	n.breaker.OnFailure(d.eng.Now())
+	d.redispatch(tr, n)
 }
 
 // PoissonArrivals draws n arrival times whose inter-arrival gaps are
@@ -141,25 +279,38 @@ type NodeSummary struct {
 	Utilization float64    // busy time / fleet makespan
 	BusyTime    event.Time // sum of batch execution spans
 	MeanLatMs   float64
+	Health      string // end-of-run health (failure-aware mode)
+	Failures    int    // exec errors + timeouts attributed to the node
+	Crashes     int    // injected crash events
+	ArraysLost  int    // arrays still lost at end of run
 }
 
 // Summary aggregates a fleet run: admission counters, fleet-wide
 // latency and queue-delay percentiles, and per-node utilization.
 type Summary struct {
-	Policy    string
-	Submitted int
-	Completed int
-	Shed      int
-	Retries   int
-	Makespan  event.Time
-	MeanLatMs float64
-	P50LatMs  float64
-	P90LatMs  float64
-	P99LatMs  float64
-	P50QueMs  float64
-	P99QueMs  float64
-	Nodes     []NodeSummary
+	Policy       string
+	Submitted    int
+	Completed    int
+	Shed         int
+	Retries      int
+	Redispatches int
+	DeadLettered int
+	ExecErrors   int
+	Timeouts     int
+	Makespan     event.Time
+	MeanLatMs    float64
+	P50LatMs     float64
+	P90LatMs     float64
+	P99LatMs     float64
+	P50QueMs     float64
+	P99QueMs     float64
+	Nodes        []NodeSummary
 }
+
+// Accounted sums the terminal states; conservation demands it equal
+// Submitted on every drained run (each batch completed, shed, or
+// dead-lettered, never more than one of them).
+func (s Summary) Accounted() int { return s.Completed + s.Shed + s.DeadLettered }
 
 // String renders the fleet summary, one headline plus one line per node.
 func (s Summary) String() string {
@@ -168,9 +319,16 @@ func (s Summary) String() string {
 		s.Policy, len(s.Nodes), s.Submitted, s.Completed, s.Shed, s.Retries, s.Makespan.Millis())
 	fmt.Fprintf(&sb, "  latency mean=%.3f p50=%.3f p90=%.3f p99=%.3fms queue p50=%.3f p99=%.3fms\n",
 		s.MeanLatMs, s.P50LatMs, s.P90LatMs, s.P99LatMs, s.P50QueMs, s.P99QueMs)
+	if s.Redispatches+s.DeadLettered+s.ExecErrors+s.Timeouts > 0 {
+		fmt.Fprintf(&sb, "  faults: redispatch=%d dead-letter=%d exec-err=%d timeouts=%d\n",
+			s.Redispatches, s.DeadLettered, s.ExecErrors, s.Timeouts)
+	}
 	for _, n := range s.Nodes {
-		fmt.Fprintf(&sb, "  %-12s batches=%-4d util=%.2f mean-lat=%.3fms\n",
-			n.Name, n.Batches, n.Utilization, n.MeanLatMs)
+		fmt.Fprintf(&sb, "  %-12s batches=%-4d util=%.2f mean-lat=%.3fms", n.Name, n.Batches, n.Utilization, n.MeanLatMs)
+		if n.Health != "" {
+			fmt.Fprintf(&sb, " health=%s failures=%d crashes=%d lost=%d", n.Health, n.Failures, n.Crashes, n.ArraysLost)
+		}
+		sb.WriteString("\n")
 	}
 	sb.WriteString(")")
 	return sb.String()
@@ -179,17 +337,25 @@ func (s Summary) String() string {
 // Run drains the shared engine and aggregates the fleet summary.
 func (d *Dispatcher) Run() Summary {
 	d.eng.Run()
-	s := Summary{Policy: d.policy.Name(), Submitted: d.submitted, Shed: d.shed, Retries: d.retries}
+	s := Summary{Policy: d.policy.Name(), Submitted: d.submitted,
+		Completed: d.completed, Shed: d.shed, Retries: d.retries,
+		Redispatches: d.redispatches, DeadLettered: d.deadLettered,
+		ExecErrors: d.execErrors, Timeouts: d.timeouts,
+	}
 	var lats, queues []float64
 	for _, n := range d.nodes {
 		ns := n.rt.Summarize()
-		s.Completed += ns.Batches
 		if ns.Makespan > s.Makespan {
 			s.Makespan = ns.Makespan
 		}
-		s.Nodes = append(s.Nodes, NodeSummary{
+		nsum := NodeSummary{
 			Name: n.Name, Batches: ns.Batches, BusyTime: n.busy, MeanLatMs: ns.MeanLatMs,
-		})
+			Failures: n.failures, Crashes: n.crashes, ArraysLost: n.arraysLost,
+		}
+		if d.faults != nil {
+			nsum.Health = n.Health().String()
+		}
+		s.Nodes = append(s.Nodes, nsum)
 		for _, r := range ns.Results {
 			lats = append(lats, r.Latency().Millis())
 			queues = append(queues, r.QueueDelay().Millis())

@@ -1,0 +1,353 @@
+package cluster
+
+import (
+	"fmt"
+
+	"mlimp/internal/event"
+	"mlimp/internal/fault"
+	"mlimp/internal/runtime"
+)
+
+// Failure-aware serving. With a FaultConfig enabled, the dispatcher
+// layers four recovery mechanisms over the basic admission/routing
+// fabric:
+//
+//   - a fault plan (internal/fault) drives deterministic node crashes,
+//     revivals, and array-capacity faults in simulated time;
+//   - heartbeat liveness: each node beats while up; a monitor declares
+//     a node dead after HeartbeatMiss silent periods, evicts its
+//     stranded batches, and re-dispatches them elsewhere;
+//   - per-dispatch deadlines: a batch that has not completed Deadline
+//     after acceptance is aborted and re-dispatched;
+//   - per-node circuit breakers: BreakerK consecutive failures eject a
+//     node from routing until a cooldown, after which a single probe
+//     batch is allowed through (half-open) before full reinstatement.
+//
+// Every submitted batch ends in exactly one of three terminal states —
+// completed, shed (admission rejected it), or dead-lettered (its
+// re-dispatch budget ran out) — and the chaos tests assert that
+// conservation law on every run.
+
+// Defaults for FaultConfig zero values, sized against the ~10ms-scale
+// batch service times of the Table II app suite.
+const (
+	DefaultMaxRedispatch   = 3
+	DefaultBreakerK        = 3
+	DefaultBreakerCooldown = 5 * event.Millisecond
+	DefaultHeartbeat       = 250 * event.Microsecond
+	DefaultHeartbeatMiss   = 3
+)
+
+// FaultConfig switches the dispatcher into failure-aware mode.
+type FaultConfig struct {
+	// Plan is the deterministic fault schedule; nil means no injected
+	// crashes or array faults (deadlines and ExecError still apply).
+	Plan *fault.Plan
+	// ExecError overrides the plan's execution-error coin; it is
+	// consulted at each batch's completion instant with the 0-based
+	// attempt index. Nil uses Plan.ExecError.
+	ExecError func(batchID, attempt int) bool
+	// Deadline is the per-dispatch completion deadline; 0 disables.
+	Deadline event.Time
+	// MaxRedispatch bounds failure-driven re-dispatches per batch
+	// before it is dead-lettered. 0 means DefaultMaxRedispatch.
+	MaxRedispatch int
+	// BreakerK is the consecutive-failure threshold that opens a node's
+	// breaker. 0 means DefaultBreakerK.
+	BreakerK int
+	// BreakerCooldown is how long an open breaker waits before allowing
+	// a half-open probe. 0 means DefaultBreakerCooldown.
+	BreakerCooldown event.Time
+	// Heartbeat is the beat and monitor period. 0 means
+	// DefaultHeartbeat.
+	Heartbeat event.Time
+	// HeartbeatMiss is how many silent periods declare a node dead.
+	// 0 means DefaultHeartbeatMiss.
+	HeartbeatMiss int
+}
+
+func (fc FaultConfig) maxRedispatch() int {
+	if fc.MaxRedispatch > 0 {
+		return fc.MaxRedispatch
+	}
+	return DefaultMaxRedispatch
+}
+
+func (fc FaultConfig) breakerK() int {
+	if fc.BreakerK > 0 {
+		return fc.BreakerK
+	}
+	return DefaultBreakerK
+}
+
+func (fc FaultConfig) breakerCooldown() event.Time {
+	if fc.BreakerCooldown > 0 {
+		return fc.BreakerCooldown
+	}
+	return DefaultBreakerCooldown
+}
+
+func (fc FaultConfig) heartbeat() event.Time {
+	if fc.Heartbeat > 0 {
+		return fc.Heartbeat
+	}
+	return DefaultHeartbeat
+}
+
+func (fc FaultConfig) heartbeatMiss() int {
+	if fc.HeartbeatMiss > 0 {
+		return fc.HeartbeatMiss
+	}
+	return DefaultHeartbeatMiss
+}
+
+// execFn resolves the execution-error coin.
+func (fc FaultConfig) execFn() func(batchID, attempt int) bool {
+	if fc.ExecError != nil {
+		return fc.ExecError
+	}
+	if fc.Plan != nil {
+		return fc.Plan.ExecError
+	}
+	return nil
+}
+
+// --- circuit breaker ---
+
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is a per-node circuit breaker in simulated time. Transitions
+// are lazy: the open→half-open move happens when the state is next
+// consulted after the cooldown, which is deterministic because every
+// consult happens at an engine-driven instant.
+type breaker struct {
+	k        int
+	cooldown event.Time
+
+	state       int
+	consecFails int
+	openedAt    event.Time
+	probing     bool // a half-open probe batch is in flight
+}
+
+func newBreaker(k int, cooldown event.Time) *breaker {
+	return &breaker{k: k, cooldown: cooldown}
+}
+
+// tick applies the lazy open→half-open transition.
+func (br *breaker) tick(now event.Time) {
+	if br.state == breakerOpen && now-br.openedAt >= br.cooldown {
+		br.state = breakerHalfOpen
+		br.probing = false
+	}
+}
+
+// Allow reports whether the breaker admits a new batch right now.
+// Half-open admits exactly one probe at a time (OnPick books it).
+func (br *breaker) Allow(now event.Time) bool {
+	br.tick(now)
+	switch br.state {
+	case breakerClosed:
+		return true
+	case breakerHalfOpen:
+		return !br.probing
+	}
+	return false
+}
+
+// OnPick books the half-open probe once the policy actually routes a
+// batch here; merely being considered eligible must not consume it.
+func (br *breaker) OnPick() {
+	if br.state == breakerHalfOpen {
+		br.probing = true
+	}
+}
+
+// OnSuccess closes the breaker.
+func (br *breaker) OnSuccess() {
+	br.state = breakerClosed
+	br.consecFails = 0
+	br.probing = false
+}
+
+// OnFailure counts a failure; K in a row (or any failure while
+// half-open) opens the breaker.
+func (br *breaker) OnFailure(now event.Time) {
+	br.consecFails++
+	if br.state == breakerHalfOpen || br.consecFails >= br.k {
+		br.state = breakerOpen
+		br.openedAt = now
+		br.probing = false
+	}
+}
+
+// --- dispatcher wiring ---
+
+// EnableFaults switches the dispatcher into failure-aware mode: it
+// validates and schedules the fault plan, installs the execution-error
+// hook on every node, arms the per-node breakers, and starts the
+// heartbeat/monitor loops. Call once, before Run.
+func (d *Dispatcher) EnableFaults(fc FaultConfig) error {
+	if d.faults != nil {
+		return fmt.Errorf("cluster: faults already enabled")
+	}
+	if err := fc.Plan.Validate(); err != nil {
+		return err
+	}
+	byName := map[string]*Node{}
+	for _, n := range d.nodes {
+		byName[n.Name] = n
+	}
+	if fc.Plan != nil {
+		for _, f := range fc.Plan.ArrayFaults {
+			if _, ok := byName[f.Node]; !ok {
+				return fmt.Errorf("cluster: array fault names unknown node %q", f.Node)
+			}
+		}
+		for _, c := range fc.Plan.Crashes {
+			if _, ok := byName[c.Node]; !ok {
+				return fmt.Errorf("cluster: crash names unknown node %q", c.Node)
+			}
+		}
+	}
+	d.faults = &fc
+	execFn := fc.execFn()
+	for _, n := range d.nodes {
+		n.breaker = newBreaker(fc.breakerK(), fc.breakerCooldown())
+		if execFn != nil {
+			node := n
+			node.rt.ExecError = func(b *runtime.Batch) error {
+				tr := d.trk[b.ID]
+				if tr == nil {
+					return nil
+				}
+				if execFn(b.ID, tr.attempts-1) {
+					return fmt.Errorf("cluster: batch %d failed on %s (attempt %d)",
+						b.ID, node.Name, tr.attempts-1)
+				}
+				return nil
+			}
+		}
+	}
+	d.schedulePlan(byName)
+	d.startHeartbeats()
+	return nil
+}
+
+// schedulePlan turns the fault plan into engine events.
+func (d *Dispatcher) schedulePlan(byName map[string]*Node) {
+	if d.faults.Plan == nil {
+		return
+	}
+	for _, f := range d.faults.Plan.ArrayFaults {
+		f, n := f, byName[f.Node]
+		d.eng.At(f.At, func() {
+			n.degrade(f.Target, f.Magnitude(n.Sys.HealthyCapacity(f.Target)))
+		})
+		if f.Transient() {
+			d.eng.At(f.Recover, func() {
+				n.restore(f.Target, f.Magnitude(n.Sys.HealthyCapacity(f.Target)))
+			})
+		}
+	}
+	for _, c := range d.faults.Plan.Crashes {
+		c, n := c, byName[c.Node]
+		d.eng.At(c.At, n.crash)
+		if c.Transient() {
+			d.eng.At(c.Recover, func() { n.revive(d.eng.Now()) })
+		}
+	}
+}
+
+// startHeartbeats arms the per-node beat loops and the fleet monitor.
+// Both re-arm only while work remains outstanding (or is still to
+// arrive), so the engine drains once the run settles.
+func (d *Dispatcher) startHeartbeats() {
+	period := d.faults.heartbeat()
+	var beat func()
+	beat = func() {
+		for _, n := range d.nodes {
+			if !n.down {
+				n.lastBeat = d.eng.Now()
+			}
+		}
+		if d.ticking() {
+			d.eng.After(period, beat)
+		}
+	}
+	var monitor func()
+	monitor = func() {
+		d.monitorOnce()
+		if d.ticking() {
+			d.eng.After(period, monitor)
+		}
+	}
+	d.eng.After(period, beat)
+	d.eng.After(period, monitor)
+}
+
+// ticking reports whether the liveness loops must keep running: work is
+// outstanding, or arrivals are still due.
+func (d *Dispatcher) ticking() bool {
+	return d.pending > 0 || d.eng.Now() < d.lastArrival
+}
+
+// monitorOnce sweeps the fleet: nodes silent for HeartbeatMiss periods
+// are declared dead and drained; declared-dead nodes that beat again
+// rejoin the routing set.
+func (d *Dispatcher) monitorOnce() {
+	now := d.eng.Now()
+	limit := event.Time(d.faults.heartbeatMiss()) * d.faults.heartbeat()
+	for _, n := range d.nodes {
+		silent := now - n.lastBeat
+		if !n.detectedDown && silent > limit {
+			n.detectedDown = true
+			for _, b := range n.rt.Evict() {
+				n.abandon(b.ID)
+				tr := d.trk[b.ID]
+				if tr == nil || tr.done {
+					continue
+				}
+				d.redispatch(tr, n)
+			}
+		} else if n.detectedDown && silent <= limit {
+			n.detectedDown = false
+		}
+	}
+}
+
+// onDeadline fires when an accepted batch's completion deadline lapses.
+// A stale generation means the batch already completed, failed, or was
+// re-dispatched — only the booking this timer was armed for counts.
+func (d *Dispatcher) onDeadline(tr *tracker, gen int) {
+	if tr.done || tr.gen != gen {
+		return
+	}
+	n := tr.node
+	d.timeouts++
+	n.failures++
+	n.breaker.OnFailure(d.eng.Now())
+	n.rt.Abort(tr.b.ID)
+	n.abandon(tr.b.ID)
+	d.redispatch(tr, n)
+}
+
+// redispatch sends a failed batch back through routing, avoiding the
+// node it just failed on; the budget is MaxRedispatch, after which the
+// batch is dead-lettered.
+func (d *Dispatcher) redispatch(tr *tracker, avoid *Node) {
+	if tr.redispatches >= d.faults.maxRedispatch() {
+		if d.finish(tr) {
+			d.deadLettered++
+		}
+		return
+	}
+	tr.redispatches++
+	d.redispatches++
+	tr.gen++ // invalidate any armed deadline for the old booking
+	d.dispatch(tr.b, 0, avoid)
+}

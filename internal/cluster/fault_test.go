@@ -1,0 +1,332 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"mlimp/internal/event"
+	"mlimp/internal/fault"
+	"mlimp/internal/isa"
+	"mlimp/internal/runtime"
+)
+
+// pickNamed routes every batch to the named node when eligible — the
+// deterministic adversary the deadline and breaker tests need.
+type pickNamed struct{ name string }
+
+func (p pickNamed) Name() string { return "pick-" + p.name }
+
+func (p pickNamed) Pick(eligible []*Node, b *runtime.Batch, now event.Time) *Node {
+	for _, n := range eligible {
+		if n.Name == p.name {
+			return n
+		}
+	}
+	return eligible[0]
+}
+
+func conserved(t *testing.T, s Summary) {
+	t.Helper()
+	if s.Accounted() != s.Submitted {
+		t.Errorf("conservation broken: submitted=%d completed=%d shed=%d dead-lettered=%d",
+			s.Submitted, s.Completed, s.Shed, s.DeadLettered)
+	}
+}
+
+// chaosRun drives a 3-node fleet through a crash-and-revive, a
+// permanent kill, a transient array fault, exec errors, and deadlines.
+func chaosRun(policy Policy) Summary {
+	d := NewDispatcher(policy, Admission{MaxRetries: 6},
+		fullNode("a"), fullNode("b"), fullNode("c"))
+	plan := &fault.Plan{
+		Seed: 99,
+		ArrayFaults: []fault.ArrayFault{
+			// Half of a's SRAM drops out at 500µs and heals at 3ms.
+			{Node: "a", Target: isa.SRAM, Fraction: 0.5, At: 500 * event.Microsecond, Recover: 3 * event.Millisecond},
+		},
+		Crashes: []fault.Crash{
+			{Node: "b", At: event.Millisecond, Recover: 4 * event.Millisecond}, // kill + revive mid-drain
+			{Node: "c", At: 2 * event.Millisecond},                             // permanent kill
+		},
+		ExecErrorProb: 0.15,
+	}
+	if err := d.EnableFaults(FaultConfig{Plan: plan, Deadline: 50 * event.Millisecond}); err != nil {
+		panic(err)
+	}
+	for i := 0; i < 30; i++ {
+		if err := d.Submit(mkBatch(i, event.Time(i)*200*event.Microsecond, 4)); err != nil {
+			panic(err)
+		}
+	}
+	return d.Run()
+}
+
+func TestChaosKillReviveMidDrain(t *testing.T) {
+	s := chaosRun(NewRoundRobin())
+	conserved(t, s)
+	if s.Completed == 0 {
+		t.Fatal("chaos run completed nothing")
+	}
+	if s.Completed+s.Shed+s.DeadLettered != 30 {
+		t.Errorf("terminal states sum to %d, want 30", s.Accounted())
+	}
+	// The permanently killed node must end down; the revived one must
+	// not.
+	byName := map[string]NodeSummary{}
+	for _, ns := range s.Nodes {
+		byName[ns.Name] = ns
+	}
+	if h := byName["c"].Health; h != "down" {
+		t.Errorf("killed node c health = %q, want down", h)
+	}
+	if h := byName["b"].Health; h == "down" {
+		t.Error("revived node b still down")
+	}
+	if byName["b"].Crashes != 1 || byName["c"].Crashes != 1 {
+		t.Errorf("crash counts = %d/%d, want 1/1", byName["b"].Crashes, byName["c"].Crashes)
+	}
+	// The transient array fault healed before the run ended.
+	if byName["a"].ArraysLost != 0 {
+		t.Errorf("node a still missing %d arrays after recovery", byName["a"].ArraysLost)
+	}
+	if s.ExecErrors == 0 {
+		t.Error("15% exec-error rate over 30 batches produced none (implausible)")
+	}
+	if !strings.Contains(s.String(), "health=") || !strings.Contains(s.String(), "dead-letter=") {
+		t.Errorf("faulty summary render missing failure fields:\n%s", s)
+	}
+}
+
+// TestChaosDeterministic: the whole failure cascade — crashes,
+// detection, eviction, re-dispatch, breaker trips — replays bit-for-bit.
+func TestChaosDeterministic(t *testing.T) {
+	for _, p := range PolicyNames() {
+		mk := func() Policy {
+			pol, _ := PolicyByName(p)
+			return pol
+		}
+		a, b := chaosRun(mk()).String(), chaosRun(mk()).String()
+		if a != b {
+			t.Errorf("policy %s chaos replay diverged:\n%s\nvs\n%s", p, a, b)
+		}
+	}
+}
+
+// TestChaosConservationGeneratedPlans: conservation holds across
+// generated fault plans, policies, and seeds.
+func TestChaosConservationGeneratedPlans(t *testing.T) {
+	for _, pname := range PolicyNames() {
+		for seed := int64(1); seed <= 3; seed++ {
+			policy, _ := PolicyByName(pname)
+			d := NewDispatcher(policy, Admission{MaxRetries: 4},
+				fullNode("a"), fullNode("b"), fullNode("c"))
+			plan, err := fault.Generate(seed, fault.GenConfig{
+				Nodes:              []string{"a", "b", "c"},
+				Horizon:            8 * event.Millisecond,
+				ArrayFaultsPerNode: 1,
+				CrashesPerNode:     0.7,
+				MeanOutage:         2 * event.Millisecond,
+				ExecErrorProb:      0.1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := d.EnableFaults(FaultConfig{Plan: plan, Deadline: 50 * event.Millisecond}); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 20; i++ {
+				if err := d.Submit(mkBatch(i, event.Time(i)*300*event.Microsecond, 3)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			conserved(t, d.Run())
+		}
+	}
+}
+
+// TestDeadlineRedispatch: a batch stuck on a slow node past its
+// deadline is aborted and re-dispatched to a faster node, completing
+// there.
+func TestDeadlineRedispatch(t *testing.T) {
+	d := NewDispatcher(pickNamed{"slow"}, Admission{},
+		NodeConfig{Name: "fast", Targets: []isa.Target{isa.SRAM}},
+		NodeConfig{Name: "slow", Targets: []isa.Target{isa.ReRAM}, Scale: 0.001},
+	)
+	b := mkBatch(0, 0, 4)
+	var fastN, slowN *Node
+	for _, n := range d.Nodes() {
+		if n.Name == "fast" {
+			fastN = n
+		} else {
+			slowN = n
+		}
+	}
+	estFast, estSlow := fastN.EstimateCost(b.Jobs), slowN.EstimateCost(b.Jobs)
+	deadline := estSlow / 2
+	if estFast >= deadline {
+		t.Fatalf("fixture broken: fast estimate %v not well under deadline %v (slow %v)",
+			estFast, deadline, estSlow)
+	}
+	if err := d.EnableFaults(FaultConfig{Deadline: deadline}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Submit(b); err != nil {
+		t.Fatal(err)
+	}
+	s := d.Run()
+	conserved(t, s)
+	if s.Completed != 1 || s.Timeouts != 1 || s.Redispatches != 1 {
+		t.Fatalf("completed=%d timeouts=%d redispatches=%d, want 1/1/1\n%s",
+			s.Completed, s.Timeouts, s.Redispatches, s)
+	}
+	for _, ns := range s.Nodes {
+		switch ns.Name {
+		case "slow":
+			if ns.Failures != 1 || ns.Batches != 0 {
+				t.Errorf("slow: failures=%d batches=%d, want 1/0", ns.Failures, ns.Batches)
+			}
+		case "fast":
+			if ns.Batches != 1 {
+				t.Errorf("fast: batches=%d, want 1", ns.Batches)
+			}
+		}
+	}
+}
+
+// TestCircuitBreakerEjectsAndRecovers: K consecutive failures open the
+// node's breaker; after the cooldown a half-open probe succeeds and the
+// node is reinstated.
+func TestCircuitBreakerEjectsAndRecovers(t *testing.T) {
+	d := NewDispatcher(pickNamed{"flaky"}, Admission{},
+		fullNode("flaky"), fullNode("good"))
+	fc := FaultConfig{
+		// Batches 0-2 fail their first attempt wherever it lands (it
+		// lands on flaky — the policy pins them there).
+		ExecError: func(batchID, attempt int) bool { return batchID < 3 && attempt == 0 },
+		BreakerK:  3,
+	}
+	if err := d.EnableFaults(fc); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := d.Submit(mkBatch(i, event.Time(i)*100*event.Microsecond, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Batch 3 arrives well after the breaker cooldown: flaky is
+	// half-open, the policy picks it as the probe, and success closes
+	// the breaker.
+	if err := d.Submit(mkBatch(3, 40*event.Millisecond, 2)); err != nil {
+		t.Fatal(err)
+	}
+	s := d.Run()
+	conserved(t, s)
+	if s.Completed != 4 || s.ExecErrors != 3 || s.Redispatches != 3 {
+		t.Fatalf("completed=%d exec-errors=%d redispatches=%d, want 4/3/3\n%s",
+			s.Completed, s.ExecErrors, s.Redispatches, s)
+	}
+	for _, ns := range s.Nodes {
+		if ns.Name == "flaky" {
+			if ns.Failures != 3 {
+				t.Errorf("flaky failures = %d, want 3", ns.Failures)
+			}
+			if ns.Health != "healthy" {
+				t.Errorf("flaky health = %q, want healthy after probe success", ns.Health)
+			}
+			// The probe batch completed on flaky after reinstatement.
+			if ns.Batches != 1 {
+				t.Errorf("flaky served %d batches, want exactly the probe", ns.Batches)
+			}
+		}
+	}
+}
+
+// TestArrayFaultForcesKneeResearch: a capacity fault mid-run shrinks a
+// layer; the node re-plans (capacity-keyed knee memo) and keeps
+// serving, then recovers.
+func TestArrayFaultForcesKneeResearch(t *testing.T) {
+	d := NewDispatcher(NewRoundRobin(), Admission{}, fullNode("solo"))
+	n := d.Nodes()[0]
+	healthy := n.Sys.Layers[isa.SRAM].Capacity
+	plan := &fault.Plan{ArrayFaults: []fault.ArrayFault{{
+		Node: "solo", Target: isa.SRAM, Fraction: 0.9,
+		At: 200 * event.Microsecond, Recover: 5 * event.Millisecond,
+	}}}
+	if err := d.EnableFaults(FaultConfig{Plan: plan}); err != nil {
+		t.Fatal(err)
+	}
+	sawDegraded := false
+	d.Engine().At(event.Millisecond, func() {
+		sawDegraded = n.Health() == Degraded
+		if got := n.Sys.Layers[isa.SRAM].Capacity; got >= healthy {
+			t.Errorf("capacity %d not degraded at 1ms", got)
+		}
+	})
+	for i := 0; i < 8; i++ {
+		if err := d.Submit(mkBatch(i, event.Time(i)*400*event.Microsecond, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := d.Run()
+	conserved(t, s)
+	if s.Completed != 8 {
+		t.Fatalf("completed = %d, want all 8 despite degradation", s.Completed)
+	}
+	if !sawDegraded {
+		t.Error("node never reported Degraded during the outage")
+	}
+	if n.Sys.Layers[isa.SRAM].Capacity != healthy || n.ArraysLost() != 0 {
+		t.Errorf("capacity %d / lost %d after recovery, want %d / 0",
+			n.Sys.Layers[isa.SRAM].Capacity, n.ArraysLost(), healthy)
+	}
+}
+
+// TestNodeHealthTransitions exercises the Health state machine off the
+// engine: crash → down, revive → healthy, degrade → degraded.
+func TestNodeHealthTransitions(t *testing.T) {
+	n := NewNode(&event.Engine{}, fullNode("h"))
+	n.breaker = newBreaker(3, event.Millisecond)
+	if n.Health() != Healthy {
+		t.Fatalf("fresh node health = %v", n.Health())
+	}
+	n.degrade(isa.DRAM, 100)
+	if n.Health() != Degraded || n.ArraysLost() != 100 {
+		t.Errorf("after degrade: health=%v lost=%d", n.Health(), n.ArraysLost())
+	}
+	n.crash()
+	if n.Health() != DownHealth {
+		t.Errorf("after crash: health=%v", n.Health())
+	}
+	n.revive(0)
+	if n.Health() != Degraded {
+		t.Errorf("after revive with lost arrays: health=%v", n.Health())
+	}
+	n.restore(isa.DRAM, 100)
+	if n.Health() != Healthy {
+		t.Errorf("after restore: health=%v", n.Health())
+	}
+	for _, h := range []Health{Healthy, Degraded, DownHealth} {
+		if h.String() == "" {
+			t.Error("empty health render")
+		}
+	}
+}
+
+// TestEnableFaultsErrors: bad plans and unknown nodes are rejected.
+func TestEnableFaultsErrors(t *testing.T) {
+	d := NewDispatcher(NewRoundRobin(), Admission{}, fullNode("a"))
+	if err := d.EnableFaults(FaultConfig{Plan: &fault.Plan{ExecErrorProb: 2}}); err == nil {
+		t.Error("invalid plan accepted")
+	}
+	if err := d.EnableFaults(FaultConfig{Plan: &fault.Plan{
+		Crashes: []fault.Crash{{Node: "ghost", At: event.Millisecond}},
+	}}); err == nil {
+		t.Error("crash on unknown node accepted")
+	}
+	if err := d.EnableFaults(FaultConfig{}); err != nil {
+		t.Fatalf("empty config rejected: %v", err)
+	}
+	if err := d.EnableFaults(FaultConfig{}); err == nil {
+		t.Error("double EnableFaults accepted")
+	}
+}

@@ -1,0 +1,43 @@
+package dram
+
+// Bad-wordline faults. A failed DRAM row no longer holds charge: reads
+// sense all zeros and writes are lost. The bank keeps operating — TRA
+// sequences that touch a bad row simply compute on zeros, the silent
+// corruption mode a real Ambit deployment must detect and map out. The
+// fleet-level fault plan (internal/fault) retires whole banks; this
+// models the per-row defect that forces a retirement.
+
+// FailRow marks row r bad: its contents drop to zero now and every
+// later write to it is discarded.
+func (b *Bank) FailRow(r int) {
+	row := b.row(r) // panics on an out-of-range row, like every row op
+	if b.bad == nil {
+		b.bad = map[int]bool{}
+	}
+	b.bad[r] = true
+	for c := range row {
+		row[c] = false
+	}
+}
+
+// RepairRow remaps row r to a spare: it becomes writable again,
+// starting zeroed.
+func (b *Bank) RepairRow(r int) {
+	b.row(r)
+	delete(b.bad, r)
+}
+
+// BadRows returns the number of failed rows.
+func (b *Bank) BadRows() int { return len(b.bad) }
+
+// scrub drops the charge of a bad destination row after a write — the
+// single hook every row-writing path (WriteRow, RowClone, cloneFromT,
+// Not, StoreVector) runs its destination through.
+func (b *Bank) scrub(r int) {
+	if b.bad != nil && b.bad[r] {
+		row := b.cells[r]
+		for c := range row {
+			row[c] = false
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package dram
+
+import (
+	"testing"
+
+	"mlimp/internal/fixed"
+)
+
+func TestFailRowZeroesAndDropsWrites(t *testing.T) {
+	b := NewBank(64, 8)
+	pattern := []bool{true, false, true, true, false, true, false, true}
+	b.WriteRow(0, pattern)
+	b.FailRow(0)
+	for c, v := range b.ReadRow(0) {
+		if v {
+			t.Fatalf("failed row holds charge at column %d", c)
+		}
+	}
+	b.WriteRow(0, pattern)
+	for c, v := range b.ReadRow(0) {
+		if v {
+			t.Fatalf("write to failed row stuck at column %d", c)
+		}
+	}
+	if b.BadRows() != 1 {
+		t.Errorf("BadRows = %d, want 1", b.BadRows())
+	}
+
+	b.RepairRow(0)
+	b.WriteRow(0, pattern)
+	for c, v := range b.ReadRow(0) {
+		if v != pattern[c] {
+			t.Fatalf("repaired row column %d = %v, want %v", c, v, pattern[c])
+		}
+	}
+	if b.BadRows() != 0 {
+		t.Errorf("BadRows after repair = %d", b.BadRows())
+	}
+}
+
+func TestFailRowSilentlyCorruptsAdd(t *testing.T) {
+	b := NewBank(64, 4)
+	x := []fixed.Num{3, 7, 255, 1024}
+	y := []fixed.Num{1, 1, 1, 1}
+	b.StoreVector(0, x)
+	b.FailRow(1) // bit-slice 1 of operand x drops to zero
+	b.StoreVector(WordBits, y)
+	b.Add(2*WordBits, 0, WordBits, 3*WordBits)
+	got := b.LoadVector(2*WordBits, len(x))
+	for c := range x {
+		want := fixed.Num(uint16(x[c])&^(1<<1) + uint16(y[c])) // wrapping Ambit add
+		if got[c] != want {
+			t.Errorf("element %d = %d, want %d (x with bad slice %d)", c, got[c], want, uint16(x[c])&^(1<<1))
+		}
+	}
+}
+
+func TestFailRowInResultRegion(t *testing.T) {
+	b := NewBank(64, 4)
+	x := []fixed.Num{5, 5, 5, 5}
+	y := []fixed.Num{3, 3, 3, 3}
+	b.FailRow(2*WordBits + 3) // bit 3 of every result element reads zero
+	b.StoreVector(0, x)
+	b.StoreVector(WordBits, y)
+	b.Add(2*WordBits, 0, WordBits, 3*WordBits)
+	got := b.LoadVector(2*WordBits, len(x))
+	for c := range x {
+		want := fixed.Num(uint16(x[c])+uint16(y[c])) &^ (1 << 3)
+		if got[c] != want {
+			t.Errorf("element %d = %d, want %d", c, got[c], want)
+		}
+	}
+}

@@ -73,7 +73,10 @@ func serving() *Result {
 		for _, intervalMs := range []float64{1.0, 0.2} {
 			scheduler := sc()
 			sys := core.New(nil, core.WithScheduler(scheduler))
-			rt := runtime.New(sys.Sys, scheduler)
+			rt, err := runtime.New(sys.Sys, scheduler)
+			if err != nil {
+				panic(err) // both dependencies are non-nil here
+			}
 			// One batch per sampled batch in the workload, arriving at
 			// the fixed interval.
 			for i := range w.Batches {
@@ -81,11 +84,13 @@ func serving() *Result {
 					Dataset: w.Dataset, Model: w.Model, Graph: w.Graph,
 					Batches: w.Batches[i : i+1],
 				}
-				rt.Submit(&runtime.Batch{
+				if err := rt.Submit(&runtime.Batch{
 					ID:      i,
 					Arrival: event.Time(float64(i) * intervalMs * float64(event.Millisecond)),
 					Jobs:    single.AllJobs(predict.Oracle{}, sys.Sys),
-				})
+				}); err != nil {
+					panic(err) // sampled batches are never empty
+				}
 			}
 			s := rt.Run()
 			t.add(scheduler.Name(), f2(intervalMs), f3(s.P50LatMs), f3(s.P99LatMs), f3(s.MeanQueMs))

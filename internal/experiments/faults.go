@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mlimp/internal/cluster"
+	"mlimp/internal/event"
+	"mlimp/internal/fault"
+	"mlimp/internal/isa"
+	"mlimp/internal/runtime"
+	"mlimp/internal/workload"
+)
+
+func init() {
+	register("faults", "Extension: fault injection — degraded arrays vs node crashes per policy", faultsExp)
+}
+
+// faultScenarios are the three failure regimes the sweep compares on an
+// identical workload: a clean fleet, a fleet with big array chunks dark
+// (capacity degradation, nodes stay up), and a fleet losing whole nodes
+// to crash windows plus transient exec errors.
+func faultScenarios() []struct {
+	name string
+	plan *fault.Plan
+} {
+	return []struct {
+		name string
+		plan *fault.Plan
+	}{
+		{"healthy", nil},
+		{"degraded", &fault.Plan{
+			Seed: 600,
+			ArrayFaults: []fault.ArrayFault{
+				{Node: "full", Target: isa.SRAM, Fraction: 0.75,
+					At: 5 * event.Millisecond, Recover: 60 * event.Millisecond},
+				{Node: "dram-reram", Target: isa.DRAM, Fraction: 0.75,
+					At: 10 * event.Millisecond, Recover: 55 * event.Millisecond},
+			},
+		}},
+		{"crashed", &fault.Plan{
+			Seed: 600,
+			Crashes: []fault.Crash{
+				{Node: "full", At: 10 * event.Millisecond, Recover: 45 * event.Millisecond},
+				{Node: "dram-reram", At: 30 * event.Millisecond, Recover: 65 * event.Millisecond},
+			},
+			ExecErrorProb: 0.05,
+		}},
+	}
+}
+
+// faultsExp sweeps failure regime x policy on the heterogeneous fleet
+// with the workload held fixed, checking two invariants the chaos tests
+// enforce in miniature: every batch is accounted for exactly once
+// (completed + shed + dead-lettered == submitted), and graceful
+// degradation beats crashing — array faults inflate p99 less than
+// losing the same nodes outright.
+func faultsExp() *Result {
+	const (
+		nBatches     = 24
+		jobsPerBatch = 3
+		seed         = 600
+	)
+	t := &table{header: []string{"scenario", "policy", "p50(ms)", "p99(ms)", "done", "redisp", "dead", "shed"}}
+	p99 := map[string]map[string]float64{}
+	conserved, completedAll := true, true
+	for _, sc := range faultScenarios() {
+		p99[sc.name] = map[string]float64{}
+		for _, name := range cluster.PolicyNames() {
+			p, _ := cluster.PolicyByName(name)
+			d := cluster.NewDispatcher(p, cluster.Admission{MaxRetries: 4}, clusterFleet()...)
+			if err := d.EnableFaults(cluster.FaultConfig{
+				Plan:     sc.plan,
+				Deadline: 200 * event.Millisecond,
+			}); err != nil {
+				panic(err)
+			}
+			rng := rand.New(rand.NewSource(seed))
+			gap := 3 * event.Millisecond
+			for i, at := range cluster.PoissonArrivals(rng, nBatches, gap) {
+				if err := d.Submit(&runtime.Batch{ID: i, Arrival: at,
+					Jobs: workload.RandomJobs(rng, jobsPerBatch, i*100)}); err != nil {
+					panic(err)
+				}
+			}
+			s := d.Run()
+			if s.Accounted() != s.Submitted {
+				conserved = false
+			}
+			if s.Completed == 0 {
+				completedAll = false
+			}
+			t.add(sc.name, name, f3(s.P50LatMs), f3(s.P99LatMs), fmt.Sprint(s.Completed),
+				fmt.Sprint(s.Redispatches), fmt.Sprint(s.DeadLettered), fmt.Sprint(s.Shed))
+			p99[sc.name][name] = s.P99LatMs
+		}
+	}
+	ordered := true
+	for _, name := range cluster.PolicyNames() {
+		if !(p99["healthy"][name] <= p99["degraded"][name] &&
+			p99["degraded"][name] <= p99["crashed"][name]) {
+			ordered = false
+		}
+	}
+	text := t.String() +
+		fmt.Sprintf("exactly-once accounting (done+dead+shed == submitted) in every run: %v\n", conserved) +
+		fmt.Sprintf("p99 ordering healthy <= degraded <= crashed for every policy: %v\n", ordered) +
+		fmt.Sprintf("degraded fleets keep completing work: %v\n", completedAll)
+	return &Result{ID: "faults", Title: "fault injection", Text: text}
+}

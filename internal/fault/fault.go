@@ -1,0 +1,303 @@
+// Package fault defines the injectable fault plan the MLIMP stack
+// consumes: deterministic, seed- and simulated-time-driven descriptions
+// of the ways a real in-memory serving deployment degrades. ReRAM
+// crossbars drift and wear out, DRAM rows fail, whole nodes crash with
+// work in flight, and executions error out transiently — none of which
+// the paper's always-healthy model represents. A Plan is pure data:
+// device models shrink their effective array counts when an ArrayFault
+// fires, the scheduler re-plans allocations against the reduced
+// capacity, and internal/cluster turns Crash windows and ExecErrorProb
+// into health states, circuit breaking, and re-dispatch.
+//
+// Everything here is deterministic. Faults are fixed (time, node,
+// magnitude) tuples; execution errors are a pure hash of
+// (seed, batch, attempt) so the same plan produces the same failures
+// regardless of dispatch order or policy under test.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"mlimp/internal/event"
+	"mlimp/internal/isa"
+)
+
+// ArrayFault takes arrays of one computable-memory layer out of service
+// on one node: the device's effective array count shrinks at At and —
+// for a transient fault — comes back at Recover. Permanent loss
+// (wear-out, a dead crossbar tile) leaves Recover zero. The magnitude
+// is either absolute (Arrays) or relative (Fraction of the layer's
+// healthy capacity, resolved by the consumer, which is how a generated
+// plan stays independent of device configurations).
+type ArrayFault struct {
+	Node     string     // node name; "" applies to every node
+	Target   isa.Target // which layer loses arrays
+	Arrays   int        // how many arrays go dark (0: use Fraction)
+	Fraction float64    // fraction of healthy capacity lost (used when Arrays == 0)
+	At       event.Time
+	Recover  event.Time // 0 = permanent
+}
+
+// Magnitude resolves the fault's array count against a layer's healthy
+// capacity. At least one array is lost by a well-formed fault.
+func (f ArrayFault) Magnitude(healthyCapacity int) int {
+	n := f.Arrays
+	if n == 0 && f.Fraction > 0 {
+		n = int(f.Fraction * float64(healthyCapacity))
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Transient reports whether the fault heals on its own.
+func (f ArrayFault) Transient() bool { return f.Recover > f.At }
+
+// Crash takes a whole node down at At — heartbeats stop, queued and
+// executing work is stranded until the fleet notices — and revives it
+// at Recover (0 = the node never comes back).
+type Crash struct {
+	Node    string
+	At      event.Time
+	Recover event.Time // 0 = permanent
+}
+
+// Transient reports whether the node revives.
+func (c Crash) Transient() bool { return c.Recover > c.At }
+
+// Plan is one run's complete fault schedule. The zero value injects
+// nothing; a Plan is immutable once handed to a consumer.
+type Plan struct {
+	// Seed drives the ExecError hash (and records the Generate seed).
+	Seed int64
+	// ArrayFaults and Crashes fire at their own simulated instants;
+	// order within the slices does not matter.
+	ArrayFaults []ArrayFault
+	Crashes     []Crash
+	// ExecErrorProb is the probability that one execution of a batch
+	// fails after running to completion (a transient job error: bad
+	// analog readout, ECC trip, a cosmic ray in the peripheral). The
+	// decision is a pure function of (Seed, batch ID, attempt), so
+	// retrying the same batch redraws independently.
+	ExecErrorProb float64
+}
+
+// Empty reports whether the plan injects nothing at all.
+func (p *Plan) Empty() bool {
+	return p == nil ||
+		(len(p.ArrayFaults) == 0 && len(p.Crashes) == 0 && p.ExecErrorProb <= 0)
+}
+
+// splitmix64 is the SplitMix64 finaliser — a cheap, well-mixed integer
+// hash (Steele et al., "Fast splittable pseudorandom number
+// generators") used to draw the deterministic ExecError coin.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ExecError reports whether execution `attempt` of batch `batchID`
+// fails. Pure in (Seed, batchID, attempt): the same plan fails the same
+// executions no matter which node runs them or in which order the
+// dispatcher asks.
+func (p *Plan) ExecError(batchID, attempt int) bool {
+	if p == nil || p.ExecErrorProb <= 0 {
+		return false
+	}
+	if p.ExecErrorProb >= 1 {
+		return true
+	}
+	h := splitmix64(uint64(p.Seed)<<32 ^ uint64(uint32(batchID))<<16 ^ uint64(uint32(attempt)))
+	// 53 high bits -> uniform float in [0, 1).
+	u := float64(h>>11) / float64(1<<53)
+	return u < p.ExecErrorProb
+}
+
+// Validate rejects plans no consumer can honour.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	if p.ExecErrorProb < 0 || p.ExecErrorProb > 1 {
+		return fmt.Errorf("fault: exec error probability %v outside [0,1]", p.ExecErrorProb)
+	}
+	for i, f := range p.ArrayFaults {
+		if f.Arrays < 0 || (f.Arrays == 0 && f.Fraction <= 0) || f.Fraction < 0 || f.Fraction > 1 {
+			return fmt.Errorf("fault: array fault %d has bad magnitude (arrays=%d fraction=%v)",
+				i, f.Arrays, f.Fraction)
+		}
+		if f.At < 0 || (f.Recover != 0 && f.Recover <= f.At) {
+			return fmt.Errorf("fault: array fault %d has bad window [%v, %v]", i, f.At, f.Recover)
+		}
+	}
+	for i, c := range p.Crashes {
+		if c.At < 0 || (c.Recover != 0 && c.Recover <= c.At) {
+			return fmt.Errorf("fault: crash %d has bad window [%v, %v]", i, c.At, c.Recover)
+		}
+	}
+	return nil
+}
+
+// String renders the plan one fault per line, in time order — the
+// header of a chaos run's artefact.
+func (p *Plan) String() string {
+	if p.Empty() {
+		return "fault-plan(empty)"
+	}
+	type line struct {
+		at   event.Time
+		text string
+	}
+	var lines []line
+	for _, f := range p.ArrayFaults {
+		node := f.Node
+		if node == "" {
+			node = "*"
+		}
+		kind := "permanent"
+		if f.Transient() {
+			kind = fmt.Sprintf("until %.3fms", f.Recover.Millis())
+		}
+		mag := fmt.Sprintf("arrays=%d", f.Arrays)
+		if f.Arrays == 0 {
+			mag = fmt.Sprintf("fraction=%.2f", f.Fraction)
+		}
+		lines = append(lines, line{f.At, fmt.Sprintf("  %.3fms array-fault node=%s layer=%s %s (%s)",
+			f.At.Millis(), node, f.Target, mag, kind)})
+	}
+	for _, c := range p.Crashes {
+		kind := "permanent"
+		if c.Transient() {
+			kind = fmt.Sprintf("revives %.3fms", c.Recover.Millis())
+		}
+		lines = append(lines, line{c.At, fmt.Sprintf("  %.3fms crash node=%s (%s)",
+			c.At.Millis(), c.Node, kind)})
+	}
+	sort.SliceStable(lines, func(i, j int) bool { return lines[i].at < lines[j].at })
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "fault-plan(seed=%d exec-error=%.2f\n", p.Seed, p.ExecErrorProb)
+	for _, l := range lines {
+		sb.WriteString(l.text)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// GenConfig parameterises Generate: expected fault counts over a run
+// horizon, drawn deterministically from the seed.
+type GenConfig struct {
+	// Nodes are the fleet's node names in configuration order.
+	Nodes []string
+	// Horizon is the simulated window faults are drawn inside.
+	Horizon event.Time
+	// ArrayFaultsPerNode is the expected number of array faults each
+	// node suffers over the horizon (can be fractional).
+	ArrayFaultsPerNode float64
+	// ArrayFraction is the fraction of a layer's arrays one fault takes
+	// out (0 means DefaultArrayFraction).
+	ArrayFraction float64
+	// TransientFraction is the share of array faults that heal (the
+	// rest are permanent wear-out). 0 means DefaultTransientFraction;
+	// negative means all faults are permanent.
+	TransientFraction float64
+	// Targets the faults draw from (defaults to isa.Targets).
+	Targets []isa.Target
+	// CrashesPerNode is the expected number of crash windows per node.
+	CrashesPerNode float64
+	// MeanOutage is the mean crash/transient-fault outage length
+	// (0 means a tenth of the horizon).
+	MeanOutage event.Time
+	// ExecErrorProb passes through to the plan.
+	ExecErrorProb float64
+}
+
+// Default generator shares.
+const (
+	DefaultArrayFraction     = 0.5
+	DefaultTransientFraction = 0.5
+)
+
+// Generate draws a deterministic fault plan from the seed: Poisson-ish
+// fault counts per node (expectation rounded by an independent draw),
+// uniform fault instants over the horizon, exponential outage lengths.
+// Iteration is in node-slice order, so the same (seed, config) is
+// always the same plan.
+func Generate(seed int64, cfg GenConfig) (*Plan, error) {
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("fault: generate needs a positive horizon, got %v", cfg.Horizon)
+	}
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("fault: generate needs node names")
+	}
+	frac := cfg.ArrayFraction
+	if frac <= 0 {
+		frac = DefaultArrayFraction
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	transient := cfg.TransientFraction
+	if transient == 0 {
+		transient = DefaultTransientFraction
+	} else if transient < 0 {
+		transient = 0 // explicit "all permanent"
+	}
+	targets := cfg.Targets
+	if len(targets) == 0 {
+		targets = isa.Targets
+	}
+	outage := cfg.MeanOutage
+	if outage <= 0 {
+		outage = cfg.Horizon / 10
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// count draws an integer with the given expectation: the integer
+	// part always happens, the fractional part by one biased coin.
+	count := func(expect float64) int {
+		n := int(expect)
+		if rng.Float64() < expect-float64(n) {
+			n++
+		}
+		return n
+	}
+	// window draws a fault instant plus (for the transient share) an
+	// exponential outage.
+	window := func(healProb float64) (at, rec event.Time) {
+		at = 1 + event.Time(rng.Float64()*float64(cfg.Horizon-1))
+		if rng.Float64() < healProb {
+			rec = at + 1 + event.Time(rng.ExpFloat64()*float64(outage))
+		}
+		return at, rec
+	}
+	p := &Plan{Seed: seed, ExecErrorProb: cfg.ExecErrorProb}
+	for _, node := range cfg.Nodes {
+		for i := 0; i < count(cfg.ArrayFaultsPerNode); i++ {
+			at, rec := window(transient)
+			p.ArrayFaults = append(p.ArrayFaults, ArrayFault{
+				Node:     node,
+				Target:   targets[rng.Intn(len(targets))],
+				Fraction: frac,
+				At:       at,
+				Recover:  rec,
+			})
+		}
+		for i := 0; i < count(cfg.CrashesPerNode); i++ {
+			// Crashes always revive in generated plans (a permanently
+			// lost node is a capacity-planning decision, not chaos);
+			// hand-written plans can still set Recover = 0.
+			at, rec := window(1)
+			p.Crashes = append(p.Crashes, Crash{Node: node, At: at, Recover: rec})
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,173 @@
+package fault
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mlimp/internal/event"
+	"mlimp/internal/isa"
+)
+
+func TestExecErrorDeterministicAndIndependentPerAttempt(t *testing.T) {
+	p := &Plan{Seed: 42, ExecErrorProb: 0.5}
+	for batch := 0; batch < 64; batch++ {
+		for attempt := 0; attempt < 4; attempt++ {
+			a := p.ExecError(batch, attempt)
+			b := p.ExecError(batch, attempt)
+			if a != b {
+				t.Fatalf("ExecError(%d,%d) not deterministic", batch, attempt)
+			}
+		}
+	}
+	// Attempts must redraw: with p=0.5 over 256 batches it is
+	// astronomically unlikely every attempt-0 and attempt-1 coin agrees.
+	same := 0
+	for batch := 0; batch < 256; batch++ {
+		if p.ExecError(batch, 0) == p.ExecError(batch, 1) {
+			same++
+		}
+	}
+	if same == 256 {
+		t.Error("attempt index does not enter the ExecError draw")
+	}
+}
+
+func TestExecErrorRate(t *testing.T) {
+	for _, prob := range []float64{0, 0.1, 0.5, 1} {
+		p := &Plan{Seed: 7, ExecErrorProb: prob}
+		n, fails := 20000, 0
+		for i := 0; i < n; i++ {
+			if p.ExecError(i, 0) {
+				fails++
+			}
+		}
+		got := float64(fails) / float64(n)
+		if math.Abs(got-prob) > 0.02 {
+			t.Errorf("prob %.2f: observed failure rate %.3f", prob, got)
+		}
+	}
+	var nilPlan *Plan
+	if nilPlan.ExecError(0, 0) {
+		t.Error("nil plan must never fail an execution")
+	}
+}
+
+func TestMagnitude(t *testing.T) {
+	if got := (ArrayFault{Arrays: 7}).Magnitude(100); got != 7 {
+		t.Errorf("absolute magnitude = %d, want 7", got)
+	}
+	if got := (ArrayFault{Fraction: 0.5}).Magnitude(100); got != 50 {
+		t.Errorf("fractional magnitude = %d, want 50", got)
+	}
+	if got := (ArrayFault{Fraction: 0.001}).Magnitude(10); got != 1 {
+		t.Errorf("magnitude floor = %d, want 1", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := &Plan{
+		ArrayFaults: []ArrayFault{
+			{Target: isa.SRAM, Arrays: 4, At: event.Millisecond},
+			{Target: isa.ReRAM, Fraction: 0.25, At: 1, Recover: 2 * event.Millisecond},
+		},
+		Crashes:       []Crash{{Node: "a", At: event.Millisecond, Recover: 2 * event.Millisecond}},
+		ExecErrorProb: 0.1,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good plan rejected: %v", err)
+	}
+	bad := []*Plan{
+		{ExecErrorProb: 1.5},
+		{ArrayFaults: []ArrayFault{{Target: isa.SRAM}}}, // no magnitude
+		{ArrayFaults: []ArrayFault{{Target: isa.SRAM, Arrays: 2, At: 5, Recover: 3}}},           // heals before failing
+		{ArrayFaults: []ArrayFault{{Target: isa.SRAM, Arrays: 1, Fraction: 2, At: 1}}},          // fraction > 1
+		{Crashes: []Crash{{Node: "a", At: 10 * event.Millisecond, Recover: event.Microsecond}}}, // heals before crashing
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad plan %d accepted", i)
+		}
+	}
+	var nilPlan *Plan
+	if err := nilPlan.Validate(); err != nil {
+		t.Errorf("nil plan should validate: %v", err)
+	}
+}
+
+func TestGenerateDeterministicAndValid(t *testing.T) {
+	cfg := GenConfig{
+		Nodes:              []string{"a", "b", "c"},
+		Horizon:            100 * event.Millisecond,
+		ArrayFaultsPerNode: 1.5,
+		CrashesPerNode:     0.8,
+		ExecErrorProb:      0.05,
+	}
+	p1, err := Generate(13, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Generate(13, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.String() != p2.String() {
+		t.Errorf("same seed produced different plans:\n%s\nvs\n%s", p1, p2)
+	}
+	p3, err := Generate(14, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.String() == p3.String() {
+		t.Error("different seeds produced identical plans (implausible)")
+	}
+	if err := p1.Validate(); err != nil {
+		t.Errorf("generated plan invalid: %v", err)
+	}
+	if len(p1.ArrayFaults) == 0 && len(p1.Crashes) == 0 {
+		t.Error("expected some faults at these rates")
+	}
+	for _, c := range p1.Crashes {
+		if !c.Transient() {
+			t.Errorf("generated crash %+v is permanent", c)
+		}
+	}
+	for _, f := range p1.ArrayFaults {
+		if f.At <= 0 || f.At > cfg.Horizon {
+			t.Errorf("fault at %v outside horizon", f.At)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(1, GenConfig{Nodes: []string{"a"}}); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := Generate(1, GenConfig{Horizon: event.Second}); err == nil {
+		t.Error("no nodes accepted")
+	}
+}
+
+func TestEmptyAndString(t *testing.T) {
+	var nilPlan *Plan
+	if !nilPlan.Empty() || !(&Plan{}).Empty() {
+		t.Error("nil/zero plans must be empty")
+	}
+	p := &Plan{Seed: 3, ExecErrorProb: 0.25,
+		ArrayFaults: []ArrayFault{{Node: "n0", Target: isa.DRAM, Arrays: 8, At: 2 * event.Millisecond}},
+		Crashes:     []Crash{{Node: "n1", At: event.Millisecond, Recover: 3 * event.Millisecond}},
+	}
+	if p.Empty() {
+		t.Error("populated plan reported empty")
+	}
+	s := p.String()
+	for _, want := range []string{"crash node=n1", "array-fault node=n0", "exec-error=0.25", "revives"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("plan render missing %q:\n%s", want, s)
+		}
+	}
+	// Time-ordered render: the 1ms crash line precedes the 2ms fault.
+	if strings.Index(s, "crash") > strings.Index(s, "array-fault") {
+		t.Errorf("plan lines not time-ordered:\n%s", s)
+	}
+}

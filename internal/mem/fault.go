@@ -1,0 +1,70 @@
+package mem
+
+// Array-level failures. A failed array is withdrawn from the
+// allocatable pool: free arrays are removed immediately, while arrays
+// currently granted to jobs finish their work first and are collected
+// when the allocation is released (a running bit-serial kernel is not
+// torn out from under the job; the array is simply never re-issued).
+// This is the device-side half of the fleet fault plan
+// (internal/fault); schedulers observe the shrunk capacity through
+// FreeArrays/CapacityArrays and re-plan.
+
+// FailArrays takes n arrays out of service. Free arrays fail now;
+// any remainder is debited lazily as granted allocations release.
+func (d *Device) FailArrays(n int) {
+	if n <= 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if usable := d.capLocked(); n > usable {
+		n = usable // cannot fail more arrays than the device has left
+	}
+	take := n
+	if take > d.free {
+		take = d.free
+	}
+	d.free -= take
+	d.pendingFail += n - take
+	d.failed += n
+}
+
+// RepairArrays returns n previously failed arrays to service (spare
+// remapping / scrubbing succeeded). Pending-but-uncollected failures
+// are cancelled first; actually-collected arrays return to the free
+// pool.
+func (d *Device) RepairArrays(n int) {
+	if n <= 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n > d.failed {
+		n = d.failed
+	}
+	cancel := n
+	if cancel > d.pendingFail {
+		cancel = d.pendingFail
+	}
+	d.pendingFail -= cancel
+	d.free += n - cancel
+	d.failed -= n
+}
+
+// FailedArrays returns the number of arrays currently out of service.
+func (d *Device) FailedArrays() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.failed
+}
+
+// capLocked is CapacityArrays without the lock: the arrays that remain
+// usable once every outstanding allocation drains. Granted arrays that
+// are doomed (pendingFail) are already excluded.
+func (d *Device) capLocked() int {
+	total := d.free - d.pendingFail
+	for _, n := range d.granted {
+		total += n
+	}
+	return total
+}

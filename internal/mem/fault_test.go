@@ -1,0 +1,97 @@
+package mem
+
+import (
+	"testing"
+
+	"mlimp/internal/isa"
+)
+
+func faultDevice(arrays int) *Device {
+	return NewDevice(Config{
+		Target: isa.SRAM, ArrayRows: 16, ArrayCols: 16, BitsPerCell: 1,
+		NumArrays: arrays, FreqMHz: 1000, ALUsPerArray: 16, MaxJobs: 8,
+	}, 0)
+}
+
+func TestFailArraysImmediateAndPending(t *testing.T) {
+	d := faultDevice(10)
+	d.FailArrays(3)
+	if d.FreeArrays() != 7 || d.CapacityArrays() != 7 || d.FailedArrays() != 3 {
+		t.Fatalf("after immediate fail: free=%d cap=%d failed=%d",
+			d.FreeArrays(), d.CapacityArrays(), d.FailedArrays())
+	}
+
+	a, err := d.Alloc(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only 2 arrays are free; the other 2 must be collected on release.
+	d.FailArrays(4)
+	if d.FreeArrays() != 0 {
+		t.Errorf("free = %d, want 0", d.FreeArrays())
+	}
+	if d.CapacityArrays() != 3 {
+		t.Errorf("capacity = %d, want 3 (10 physical - 7 failed)", d.CapacityArrays())
+	}
+	if d.FailedArrays() != 7 {
+		t.Errorf("failed = %d, want 7", d.FailedArrays())
+	}
+
+	d.Release(a)
+	if d.FreeArrays() != 3 || d.CapacityArrays() != 3 {
+		t.Errorf("after release: free=%d cap=%d, want 3/3", d.FreeArrays(), d.CapacityArrays())
+	}
+	if _, err := d.Alloc(4); err == nil {
+		t.Error("allocation beyond degraded capacity succeeded")
+	}
+}
+
+func TestRepairArrays(t *testing.T) {
+	d := faultDevice(10)
+	d.FailArrays(6)
+	d.RepairArrays(4)
+	if d.FreeArrays() != 8 || d.FailedArrays() != 2 {
+		t.Errorf("after partial repair: free=%d failed=%d, want 8/2", d.FreeArrays(), d.FailedArrays())
+	}
+	d.RepairArrays(100) // clamped to what is failed
+	if d.FreeArrays() != 10 || d.FailedArrays() != 0 {
+		t.Errorf("after full repair: free=%d failed=%d, want 10/0", d.FreeArrays(), d.FailedArrays())
+	}
+}
+
+func TestRepairCancelsPendingFirst(t *testing.T) {
+	d := faultDevice(4)
+	a, err := d.Alloc(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.FailArrays(3) // 1 free fails now, 2 pend on the running job
+	if d.CapacityArrays() != 1 {
+		t.Fatalf("capacity = %d, want 1", d.CapacityArrays())
+	}
+	d.RepairArrays(2) // cancels the pending debits, no free arrays appear yet
+	if d.FreeArrays() != 0 || d.FailedArrays() != 1 || d.CapacityArrays() != 3 {
+		t.Errorf("after repair: free=%d failed=%d cap=%d, want 0/1/3",
+			d.FreeArrays(), d.FailedArrays(), d.CapacityArrays())
+	}
+	d.Release(a)
+	if d.FreeArrays() != 3 || d.CapacityArrays() != 3 {
+		t.Errorf("after release: free=%d cap=%d, want 3/3", d.FreeArrays(), d.CapacityArrays())
+	}
+}
+
+func TestFailArraysClampsToPhysical(t *testing.T) {
+	d := faultDevice(5)
+	d.FailArrays(1000)
+	if d.FailedArrays() != 5 || d.CapacityArrays() != 0 {
+		t.Errorf("total failure: failed=%d cap=%d, want 5/0", d.FailedArrays(), d.CapacityArrays())
+	}
+	if _, err := d.Alloc(1); err == nil {
+		t.Error("allocation on a fully failed device succeeded")
+	}
+	d.FailArrays(0) // no-op
+	d.RepairArrays(-1)
+	if d.FailedArrays() != 5 {
+		t.Errorf("no-op calls changed state: failed=%d", d.FailedArrays())
+	}
+}

@@ -124,6 +124,11 @@ type Device struct {
 	jobs    int
 	nextID  int64
 	granted map[int64]int
+
+	// Failure-injection state (fault.go): arrays out of service, and the
+	// portion still held by running jobs, to be collected on Release.
+	failed      int
+	pendingFail int
 }
 
 // NewDevice builds a device with all arrays free. A fraction of arrays
@@ -143,15 +148,12 @@ func (d *Device) FreeArrays() int {
 	return d.free
 }
 
-// CapacityArrays returns the total allocatable arrays (after reservation).
+// CapacityArrays returns the total allocatable arrays (after
+// reservation, excluding failed arrays — see fault.go).
 func (d *Device) CapacityArrays() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	total := d.free
-	for _, n := range d.granted {
-		total += n
-	}
-	return total
+	return d.capLocked()
 }
 
 // ActiveJobs returns the number of outstanding allocations.
@@ -194,6 +196,15 @@ func (d *Device) Release(a *Allocation) {
 	delete(d.granted, a.id)
 	d.free += n
 	d.jobs--
+	// Collect failures that were waiting on running jobs (fault.go).
+	if d.pendingFail > 0 {
+		take := d.pendingFail
+		if take > d.free {
+			take = d.free
+		}
+		d.free -= take
+		d.pendingFail -= take
+	}
 }
 
 // Technology characterises one memory technology for the Figure 1

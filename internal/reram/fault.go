@@ -1,0 +1,47 @@
+package reram
+
+import "math/rand"
+
+// Conductance drift. ReRAM cells age: programmed conductance levels
+// creep toward neighbouring states (Section II-A's endurance/variation
+// problem — the reason LRMP-style deployments must tolerate degraded
+// crossbars). Drift is *silent*: the digital offset-correction metadata
+// still describes the originally programmed weights, so the analog dot
+// product diverges from the exact reference — the fault mode that gets
+// a crossbar retired by the fleet-level plan (internal/fault).
+
+// Drift perturbs each cell of the programmed region by ±1 conductance
+// level with probability prob, clamped to the valid level range,
+// without touching the correction metadata. Deterministic for a seeded
+// rng; returns the number of drifted cells.
+func (c *Crossbar) Drift(rng *rand.Rand, prob float64) int {
+	drifted := 0
+	for lcol := 0; lcol < c.ALUs(); lcol++ {
+		base := lcol * SlicesPerWeight
+		for r := 0; r < c.active[lcol]; r++ {
+			for s := 0; s < SlicesPerWeight; s++ {
+				if rng.Float64() >= prob {
+					continue
+				}
+				cell := &c.cells[r][base+s]
+				if rng.Intn(2) == 0 && *cell > 0 {
+					*cell--
+					drifted++
+				} else if *cell < radix-1 {
+					*cell++
+					drifted++
+				}
+			}
+		}
+	}
+	return drifted
+}
+
+// DriftErrorBound returns a per-cell bound on how much one ±1-level
+// drifted cell can move the raw MAC output: the worst case is a drift
+// in the most significant slice hit by the largest offset-encoded
+// input digit pattern.
+func DriftErrorBound() int64 {
+	maxEnc := int64(1<<WordBits - 1) // largest offset-encoded input
+	return maxEnc << (uint(SlicesPerWeight-1) * CellBits)
+}

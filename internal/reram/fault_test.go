@@ -1,0 +1,71 @@
+package reram
+
+import (
+	"math/rand"
+	"testing"
+
+	"mlimp/internal/fixed"
+)
+
+func driftFixture(rng *rand.Rand) (*Crossbar, []fixed.Num, []fixed.Num) {
+	c := NewCrossbar(128, 128)
+	weights := make([]fixed.Num, c.Rows)
+	inputs := make([]fixed.Num, c.Rows)
+	for i := range weights {
+		weights[i] = fixed.Num(rng.Intn(65536) - 32768)
+		inputs[i] = fixed.Num(rng.Intn(65536) - 32768)
+	}
+	c.ProgramWeights(0, weights)
+	return c, weights, inputs
+}
+
+func TestDriftPerturbsMACWithinBound(t *testing.T) {
+	c, weights, inputs := driftFixture(rand.New(rand.NewSource(5)))
+	exact := WideDot(inputs, weights)
+	if got, _ := c.MAC(0, inputs); got != exact {
+		t.Fatalf("pre-drift MAC = %d, want exact %d", got, exact)
+	}
+
+	drifted := c.Drift(rand.New(rand.NewSource(9)), 0.05)
+	if drifted == 0 {
+		t.Fatal("no cells drifted at 5% over 1024 cells (implausible)")
+	}
+	got, _ := c.MAC(0, inputs)
+	if got == exact {
+		t.Error("drift left the analog MAC bit-exact (silent-error model broken)")
+	}
+	// Each ±1-level cell moves the raw output by at most the per-cell
+	// bound; the digital correction metadata stays untouched.
+	errAbs := got - exact
+	if errAbs < 0 {
+		errAbs = -errAbs
+	}
+	if bound := int64(drifted) * DriftErrorBound(); errAbs > bound {
+		t.Errorf("drift error %d exceeds bound %d for %d cells", errAbs, bound, drifted)
+	}
+}
+
+func TestDriftDeterministic(t *testing.T) {
+	c1, _, inputs := driftFixture(rand.New(rand.NewSource(5)))
+	c2, _, _ := driftFixture(rand.New(rand.NewSource(5)))
+	n1 := c1.Drift(rand.New(rand.NewSource(3)), 0.1)
+	n2 := c2.Drift(rand.New(rand.NewSource(3)), 0.1)
+	if n1 != n2 {
+		t.Fatalf("same seed drifted %d vs %d cells", n1, n2)
+	}
+	g1, _ := c1.MAC(0, inputs)
+	g2, _ := c2.MAC(0, inputs)
+	if g1 != g2 {
+		t.Errorf("same seed produced different drifted MACs: %d vs %d", g1, g2)
+	}
+}
+
+func TestDriftZeroProbability(t *testing.T) {
+	c, weights, inputs := driftFixture(rand.New(rand.NewSource(5)))
+	if n := c.Drift(rand.New(rand.NewSource(1)), 0); n != 0 {
+		t.Fatalf("prob 0 drifted %d cells", n)
+	}
+	if got, _ := c.MAC(0, inputs); got != WideDot(inputs, weights) {
+		t.Error("prob-0 drift changed the MAC")
+	}
+}

@@ -11,15 +11,27 @@
 // runs on an injected shared engine (NewOn) so that several runtimes —
 // the nodes of an internal/cluster fleet — advance in one simulated
 // timeline.
+//
+// Misuse of the public API (nil dependencies, empty batches) returns
+// errors rather than panicking: in a serving fabric these arrive from
+// remote callers and must be rejectable, not fatal. Panics remain only
+// for internal invariants that indicate a bug in this package.
 package runtime
 
 import (
+	"errors"
 	"fmt"
 
 	"mlimp/internal/event"
 	"mlimp/internal/sched"
 	"mlimp/internal/stats"
 )
+
+// ErrEmptyBatch rejects a batch with no jobs.
+var ErrEmptyBatch = errors.New("runtime: empty batch")
+
+// ErrNilBatch rejects a nil batch.
+var ErrNilBatch = errors.New("runtime: nil batch")
 
 // Batch is one arriving unit of work.
 type Batch struct {
@@ -48,33 +60,51 @@ type Runtime struct {
 	Scheduler sched.Scheduler
 
 	// OnStart, if set, fires when a batch leaves the queue and its jobs
-	// begin executing. OnComplete fires when the batch finishes. Both run
-	// inside the event engine, at the simulated instant they describe —
-	// the hooks fabric layers (internal/cluster) use to track occupancy
-	// without owning the run loop.
+	// begin executing. OnComplete fires when the batch finishes — with a
+	// non-nil error when ExecError failed the batch, in which case the
+	// result is not recorded. Both run inside the event engine, at the
+	// simulated instant they describe — the hooks fabric layers
+	// (internal/cluster) use to track occupancy without owning the run
+	// loop.
 	OnStart    func(b *Batch, at event.Time)
-	OnComplete func(res BatchResult)
+	OnComplete func(res BatchResult, err error)
+
+	// ExecError, if set, is consulted at each batch's completion instant.
+	// A non-nil error marks the execution as failed: the batch's result
+	// is discarded (latency stats stay clean) and the error is handed to
+	// OnComplete for the fabric layer to retry, re-dispatch, or
+	// dead-letter. This is the hook internal/fault plans plug into.
+	ExecError func(b *Batch) error
 
 	eng     *event.Engine
 	queue   []*Batch
 	busy    bool
+	down    bool
+	running *Batch
+	gen     int // dispatch generation; invalidates in-flight completions
 	results []BatchResult
 }
 
 // New builds a runtime over the given system and scheduler with a
 // private event engine.
-func New(sys *sched.System, scheduler sched.Scheduler) *Runtime {
+func New(sys *sched.System, scheduler sched.Scheduler) (*Runtime, error) {
 	return NewOn(&event.Engine{}, sys, scheduler)
 }
 
 // NewOn builds a runtime on an injected engine, so multiple runtimes
 // (and their dispatcher) share one simulated timeline. The caller that
 // owns the engine decides when to run it; use Summarize afterwards.
-func NewOn(eng *event.Engine, sys *sched.System, scheduler sched.Scheduler) *Runtime {
-	if eng == nil || sys == nil || scheduler == nil {
-		panic("runtime: nil engine, system or scheduler")
+func NewOn(eng *event.Engine, sys *sched.System, scheduler sched.Scheduler) (*Runtime, error) {
+	if eng == nil {
+		return nil, errors.New("runtime: nil engine")
 	}
-	return &Runtime{Sys: sys, Scheduler: scheduler, eng: eng}
+	if sys == nil {
+		return nil, errors.New("runtime: nil system")
+	}
+	if scheduler == nil {
+		return nil, errors.New("runtime: nil scheduler")
+	}
+	return &Runtime{Sys: sys, Scheduler: scheduler, eng: eng}, nil
 }
 
 // Engine returns the engine this runtime schedules on.
@@ -90,13 +120,17 @@ func (r *Runtime) Outstanding() int {
 	return n
 }
 
+// Down reports whether the runtime is halted.
+func (r *Runtime) Down() bool { return r.down }
+
 // Submit registers a batch arrival. Must be called before Run; arrivals
 // may be submitted in any order.
-func (r *Runtime) Submit(b *Batch) {
-	if len(b.Jobs) == 0 {
-		panic("runtime: empty batch")
+func (r *Runtime) Submit(b *Batch) error {
+	if err := checkBatch(b); err != nil {
+		return err
 	}
 	r.eng.At(b.Arrival, func() { r.arrive(b) })
+	return nil
 }
 
 // Enqueue admits a batch into the run queue at the current engine time,
@@ -104,11 +138,22 @@ func (r *Runtime) Submit(b *Batch) {
 // for fabric layers that manage arrivals themselves: a dispatcher holds
 // the batch through admission (and possibly retries), then enqueues it
 // here once a node accepts it.
-func (r *Runtime) Enqueue(b *Batch) {
-	if len(b.Jobs) == 0 {
-		panic("runtime: empty batch")
+func (r *Runtime) Enqueue(b *Batch) error {
+	if err := checkBatch(b); err != nil {
+		return err
 	}
 	r.arrive(b)
+	return nil
+}
+
+func checkBatch(b *Batch) error {
+	if b == nil {
+		return ErrNilBatch
+	}
+	if len(b.Jobs) == 0 {
+		return fmt.Errorf("%w (batch %d)", ErrEmptyBatch, b.ID)
+	}
+	return nil
 }
 
 func (r *Runtime) arrive(b *Batch) {
@@ -116,30 +161,108 @@ func (r *Runtime) arrive(b *Batch) {
 	r.pump()
 }
 
+// Halt stops the runtime at the current instant, as a node crash does:
+// the executing batch loses its partial work and returns to the head of
+// the queue, and nothing further starts until Resume. The already
+// scheduled completion event is invalidated by the generation bump.
+func (r *Runtime) Halt() {
+	if r.down {
+		return
+	}
+	r.down = true
+	if r.busy {
+		r.gen++
+		r.queue = append([]*Batch{r.running}, r.queue...)
+		r.running = nil
+		r.busy = false
+	}
+}
+
+// Resume restarts a halted runtime; the interrupted batch (if any) is
+// re-scheduled from scratch.
+func (r *Runtime) Resume() {
+	if !r.down {
+		return
+	}
+	r.down = false
+	r.pump()
+}
+
+// Evict removes and returns every admitted-but-unfinished batch — the
+// interrupted one first, then the queue in order — so a fabric layer
+// can re-dispatch work stranded on a failed node. The runtime itself
+// stays up (or down) as it was.
+func (r *Runtime) Evict() []*Batch {
+	var out []*Batch
+	if r.busy {
+		r.gen++
+		out = append(out, r.running)
+		r.running = nil
+		r.busy = false
+	}
+	out = append(out, r.queue...)
+	r.queue = nil
+	return out
+}
+
+// Abort removes the batch with the given ID, whether executing or
+// queued, and returns it; nil if no such batch is outstanding. Aborting
+// the executing batch frees the system for the next queued one — the
+// deadline-timeout path of the cluster fabric.
+func (r *Runtime) Abort(id int) *Batch {
+	if r.busy && r.running.ID == id {
+		b := r.running
+		r.gen++
+		r.running = nil
+		r.busy = false
+		r.pump()
+		return b
+	}
+	for i, b := range r.queue {
+		if b.ID == id {
+			r.queue = append(r.queue[:i], r.queue[i+1:]...)
+			return b
+		}
+	}
+	return nil
+}
+
 // pump starts the next queued batch when the system is free. Batches
 // run one at a time at batch granularity (each batch's jobs are spread
 // across all layers by the scheduler; overlapping whole batches would
 // double-book the arrays the scheduler just planned with).
 func (r *Runtime) pump() {
-	if r.busy || len(r.queue) == 0 {
+	if r.busy || r.down || len(r.queue) == 0 {
 		return
 	}
 	b := r.queue[0]
 	r.queue = r.queue[1:]
 	r.busy = true
+	r.running = b
+	myGen := r.gen
 	start := r.eng.Now()
 	if r.OnStart != nil {
 		r.OnStart(b, start)
 	}
 	res := r.Scheduler.Schedule(r.Sys, b.Jobs)
 	r.eng.After(res.Makespan, func() {
+		if r.gen != myGen {
+			return // batch was halted, evicted or aborted mid-flight
+		}
+		r.running = nil
+		r.busy = false
 		done := BatchResult{
 			ID: b.ID, Arrival: b.Arrival, Start: start, Completed: r.eng.Now(),
 		}
-		r.results = append(r.results, done)
-		r.busy = false
+		var execErr error
+		if r.ExecError != nil {
+			execErr = r.ExecError(b)
+		}
+		if execErr == nil {
+			r.results = append(r.results, done)
+		}
 		if r.OnComplete != nil {
-			r.OnComplete(done)
+			r.OnComplete(done, execErr)
 		}
 		r.pump()
 	})

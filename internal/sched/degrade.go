@@ -1,0 +1,77 @@
+package sched
+
+import "mlimp/internal/isa"
+
+// Capacity degradation. When arrays fail in the field (internal/fault),
+// the scheduler must re-plan against the shrunk layer rather than keep
+// issuing knee-sized allocations the device can no longer grant.
+// Because KneeAlloc is memoized per (profile, target, capacity), a
+// Degrade/Restore call invalidates nothing explicitly: the next lookup
+// simply misses under the new capacity key and re-runs the knee search
+// on the degraded curve.
+
+// Degrade removes n arrays from layer t, flooring the layer at one
+// array so jobs that only run there remain schedulable (slowly) rather
+// than unroutable. It returns the number of arrays actually removed.
+func (s *System) Degrade(t isa.Target, n int) int {
+	l, ok := s.Layers[t]
+	if !ok || n <= 0 {
+		return 0
+	}
+	if s.healthyCap == nil {
+		s.healthyCap = map[isa.Target]int{}
+		s.lostArrays = map[isa.Target]int{}
+	}
+	if _, seen := s.healthyCap[t]; !seen {
+		s.healthyCap[t] = l.Capacity
+	}
+	newCap := l.Capacity - n
+	if newCap < 1 {
+		newCap = 1
+	}
+	removed := l.Capacity - newCap
+	l.Capacity = newCap
+	s.lostArrays[t] += removed
+	return removed
+}
+
+// Restore returns n previously lost arrays to layer t (bounded by what
+// is actually lost, so capacity can never exceed the healthy baseline).
+// It returns the number of arrays actually restored.
+func (s *System) Restore(t isa.Target, n int) int {
+	l, ok := s.Layers[t]
+	if !ok || n <= 0 || s.lostArrays[t] == 0 {
+		return 0
+	}
+	if n > s.lostArrays[t] {
+		n = s.lostArrays[t]
+	}
+	l.Capacity += n
+	s.lostArrays[t] -= n
+	return n
+}
+
+// Lost returns the arrays of layer t currently lost to faults.
+func (s *System) Lost(t isa.Target) int { return s.lostArrays[t] }
+
+// LostTotal returns the arrays lost to faults across all layers.
+func (s *System) LostTotal() int {
+	total := 0
+	for _, n := range s.lostArrays {
+		total += n
+	}
+	return total
+}
+
+// HealthyCapacity returns layer t's fault-free capacity: the baseline
+// captured at the first Degrade, or the current capacity if the layer
+// has never been degraded.
+func (s *System) HealthyCapacity(t isa.Target) int {
+	if n, ok := s.healthyCap[t]; ok {
+		return n
+	}
+	if l, ok := s.Layers[t]; ok {
+		return l.Capacity
+	}
+	return 0
+}

@@ -95,6 +95,11 @@ type System struct {
 	profMemo   map[profKey]event.Time
 	kneeMemo   map[kneeKey]int
 	cacheStats CacheStats
+
+	// Degradation bookkeeping (degrade.go): per-layer healthy baseline
+	// captured at first fault, and arrays currently lost to faults.
+	healthyCap map[isa.Target]int
+	lostArrays map[isa.Target]int
 }
 
 // Layer is one computable memory exposed to the scheduler.

@@ -1,0 +1,39 @@
+package sram
+
+// Stuck-at cell faults (Section II-B1 substrates age like any SRAM:
+// marginal cells latch to a fixed value). A stuck cell ignores every
+// write — the bit-serial FSM keeps running, it just computes with the
+// corrupted operand, which is exactly how a degraded array misbehaves
+// in the field. The fleet-level fault plan (internal/fault) retires
+// whole arrays; this models why an array gets retired.
+
+type cellAddr struct{ row, col int }
+
+// InjectStuckAt pins cell (row, col) to value v. The pin applies
+// immediately and to every subsequent write. Injecting the same cell
+// again just changes the pinned value.
+func (a *Array) InjectStuckAt(row, col int, v bool) {
+	if row < 0 || row >= a.Rows || col < 0 || col >= a.Cols {
+		panic("sram: stuck-at cell out of array bounds")
+	}
+	if a.stuck == nil {
+		a.stuck = map[cellAddr]bool{}
+	}
+	a.stuck[cellAddr{row, col}] = v
+	a.bits[row][col] = v
+}
+
+// ClearFaults heals every stuck cell (the cells keep their pinned
+// values until overwritten; only the pinning ends).
+func (a *Array) ClearFaults() { a.stuck = nil }
+
+// FaultCount returns the number of stuck cells.
+func (a *Array) FaultCount() int { return len(a.stuck) }
+
+// pin re-asserts every stuck cell after a bulk write. Compute ops go
+// through setColumn, which pins inline; StoreVector and Copy call this.
+func (a *Array) pin() {
+	for c, v := range a.stuck {
+		a.bits[c.row][c.col] = v
+	}
+}

@@ -1,0 +1,76 @@
+package sram
+
+import (
+	"testing"
+
+	"mlimp/internal/fixed"
+)
+
+func TestStuckAtPinsStoredData(t *testing.T) {
+	a := NewArray(32, 8)
+	vals := []fixed.Num{1, 2, 3, 4, 5, 6, 7, 8}
+	a.StoreVector(0, vals)
+
+	// Pin bit 3 of element 2 in slot 0 to one.
+	a.InjectStuckAt(3, 2, true)
+	got := a.LoadVector(0, len(vals))
+	want := vals[2] | 1<<3
+	if got[2] != want {
+		t.Errorf("stuck cell: element 2 = %d, want %d", got[2], want)
+	}
+	for c, v := range got {
+		if c != 2 && v != vals[c] {
+			t.Errorf("healthy element %d corrupted: %d != %d", c, v, vals[c])
+		}
+	}
+
+	// The pin survives rewrites.
+	a.StoreVector(0, make([]fixed.Num, len(vals)))
+	if got := a.LoadVector(0, len(vals)); got[2] != 1<<3 {
+		t.Errorf("rewrite cleared stuck cell: element 2 = %d", got[2])
+	}
+	if a.FaultCount() != 1 {
+		t.Errorf("FaultCount = %d, want 1", a.FaultCount())
+	}
+
+	// Healing ends the pin; the next write sticks.
+	a.ClearFaults()
+	a.StoreVector(0, vals)
+	if got := a.LoadVector(0, len(vals)); got[2] != vals[2] {
+		t.Errorf("after ClearFaults element 2 = %d, want %d", got[2], vals[2])
+	}
+	if a.FaultCount() != 0 {
+		t.Errorf("FaultCount after clear = %d", a.FaultCount())
+	}
+}
+
+func TestStuckAtCorruptsCompute(t *testing.T) {
+	a := NewArray(48, 4) // three slots: x, y, dst
+	x := []fixed.Num{100, 200, 300, 400}
+	y := []fixed.Num{5, 6, 7, 8}
+	a.StoreVector(0, x)
+	a.StoreVector(1, y)
+
+	// Pin bit 0 of dst element 1 to zero: the adder output is forced even.
+	a.InjectStuckAt(2*WordBits+0, 1, false)
+	a.Add(2, 0, 1)
+	got := a.LoadVector(2, len(x))
+	for c := range x {
+		want := fixed.Add(x[c], y[c])
+		if c == 1 {
+			want &^= 1
+		}
+		if got[c] != want {
+			t.Errorf("element %d = %d, want %d", c, got[c], want)
+		}
+	}
+}
+
+func TestStuckAtBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-bounds stuck-at injection did not panic")
+		}
+	}()
+	NewArray(32, 8).InjectStuckAt(32, 0, true)
+}

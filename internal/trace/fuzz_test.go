@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTraceDecode throws arbitrary bytes at the JSON trace decoder. Two
+// properties must hold: Read/Jobs never panic on any input, and any
+// trace that decodes and replays successfully must survive a
+// write/read/replay round trip unchanged in shape.
+func FuzzTraceDecode(f *testing.F) {
+	valid := []byte(`{"version":1,"label":"seed","records":[` +
+		`{"id":0,"name":"spmm","kind":"spmm","est":{"sram":` +
+		`{"unit_cycles":100,"rep_unit":8,"load_bytes":4096,"beta":0.8}}}]}`)
+	// Seed with the corruption shapes TestCorruptJSONRoundTrip checks,
+	// plus the malformed inputs from TestReadErrors.
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(append([]byte("\x00\xff{"), valid...))
+	f.Add(bytes.ReplaceAll(valid, []byte("{"), []byte("[")))
+	f.Add([]byte(`{"version": 99}`))
+	f.Add([]byte("{not json"))
+	f.Add([]byte(`{"version":1,"records":[{"est":{"bogus":{}}}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: fine, as long as it didn't panic
+		}
+		jobs, err := tr.Jobs()
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			t.Fatalf("re-serialise accepted trace: %v", err)
+		}
+		tr2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-read re-serialised trace: %v", err)
+		}
+		jobs2, err := tr2.Jobs()
+		if err != nil {
+			t.Fatalf("replay re-serialised trace: %v", err)
+		}
+		if len(jobs2) != len(jobs) {
+			t.Fatalf("round trip changed job count: %d -> %d", len(jobs), len(jobs2))
+		}
+	})
+}
