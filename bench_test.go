@@ -11,9 +11,16 @@
 package main_test
 
 import (
+	"fmt"
+	"math/rand"
 	"testing"
 
+	"mlimp/internal/cluster"
+	"mlimp/internal/event"
 	"mlimp/internal/experiments"
+	"mlimp/internal/isa"
+	"mlimp/internal/runtime"
+	"mlimp/internal/workload"
 )
 
 // run executes one registered experiment b.N times, reporting its
@@ -61,3 +68,64 @@ func BenchmarkAblation_Compiler(b *testing.B)               { run(b, "abl-compil
 func BenchmarkExtension_Serving(b *testing.B)               { run(b, "serving") }
 func BenchmarkExtension_Quantization(b *testing.B)          { run(b, "quant") }
 func BenchmarkExtension_Cluster(b *testing.B)               { run(b, "cluster") }
+func BenchmarkExtension_Faults(b *testing.B)                { run(b, "faults") }
+
+// fleetBatches builds the wave-synchronous workload for the shard-sweep
+// bench: waves of one heavy batch per node arriving at the same
+// instant, so every wave's dispatches land in one simulation window and
+// the per-node Algorithm-2 scheduling passes — the dominant per-event
+// work — can run on all node shards concurrently. Built once; batches
+// and jobs are read-only to the fabric, so iterations share them.
+func fleetBatches(nodes, waves, jobsPerBatch int) []*runtime.Batch {
+	rng := rand.New(rand.NewSource(42))
+	var batches []*runtime.Batch
+	id := 0
+	for w := 0; w < waves; w++ {
+		at := event.Time(w) * 60 * event.Millisecond
+		for n := 0; n < nodes; n++ {
+			batches = append(batches, &runtime.Batch{ID: id, Arrival: at,
+				Jobs: workload.RandomJobs(rng, jobsPerBatch, id*100)})
+			id++
+		}
+	}
+	return batches
+}
+
+// benchFleetShards drives an 8-node homogeneous fleet through the
+// sharded dispatcher at the given worker count — the ISSUE 5 speedup
+// benchmark. least-outstanding keeps the hub estimate-free, so all
+// scheduling work lives on the node shards where the workers can reach
+// it; artefacts are byte-identical across worker counts (asserted
+// against the serial run's completion count).
+func benchFleetShards(b *testing.B, workers int) {
+	const nodes, waves, jobsPerBatch = 8, 10, 8
+	batches := fleetBatches(nodes, waves, jobsPerBatch)
+	cfgs := make([]cluster.NodeConfig, nodes)
+	for i := range cfgs {
+		cfgs[i] = cluster.NodeConfig{Name: fmt.Sprintf("node%d", i), Targets: isa.Targets}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var avgActive float64
+	for i := 0; i < b.N; i++ {
+		d := cluster.NewShardedDispatcher(cluster.NewLeastOutstanding(), cluster.Admission{},
+			cluster.ShardConfig{Workers: workers}, cfgs...)
+		for _, bt := range batches {
+			if err := d.Submit(bt); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if s := d.Run(); s.Completed != len(batches) {
+			b.Fatalf("completed %d of %d", s.Completed, len(batches))
+		}
+		avgActive = d.WindowStats().AvgActive()
+	}
+	// Available parallelism per window — the speedup bound a host with
+	// enough cores can realise at this worker count.
+	b.ReportMetric(avgActive, "avg-active-shards")
+}
+
+func BenchmarkFleetShards_J1(b *testing.B) { benchFleetShards(b, 1) }
+func BenchmarkFleetShards_J2(b *testing.B) { benchFleetShards(b, 2) }
+func BenchmarkFleetShards_J4(b *testing.B) { benchFleetShards(b, 4) }
+func BenchmarkFleetShards_J8(b *testing.B) { benchFleetShards(b, 8) }

@@ -1,0 +1,172 @@
+// Command benchcheck is the bench-regression gate: it parses `go test
+// -bench` output (stdin or -in), compares each benchmark's ns/op
+// against a committed baseline JSON, and fails when the geometric mean
+// of the ratios regresses past -threshold. With -update it rewrites the
+// baseline from the measured run instead of comparing, which is how the
+// baseline file is refreshed after an intentional perf change.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'Fleet|Extension' . | benchcheck -baseline BENCH_BASELINE.json
+//	go test -run '^$' -bench 'Fleet|Extension' . | benchcheck -baseline BENCH_BASELINE.json -update
+//
+// Benchmarks present in the run but missing from the baseline are
+// reported and skipped (they cannot regress); baseline entries missing
+// from the run fail the check, so a silently deleted benchmark cannot
+// hide a regression. The comparison is benchstat-flavoured but
+// dependency-free: single-sample geomean with a per-bench report,
+// which is the right weight for a CI smoke gate (full statistics need
+// -count >= 10 and a real benchstat run).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Baseline is the committed reference: benchmark name (with the -P GOMAXPROCS
+// suffix stripped) to ns/op.
+type Baseline struct {
+	// Note explains how the file was produced; carried through -update.
+	Note    string             `json:"note,omitempty"`
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+}
+
+// benchLine matches `BenchmarkName-8   100   12345 ns/op   ...` and the
+// suffix-less form emitted with GOMAXPROCS unset.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func parseBench(r io.Reader) (map[string]float64, error) {
+	got := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %v", sc.Text(), err)
+		}
+		got[m[1]] = ns
+	}
+	return got, sc.Err()
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_BASELINE.json", "committed baseline JSON")
+	in := flag.String("in", "", "bench output file; default stdin")
+	update := flag.Bool("update", false, "rewrite the baseline from this run instead of comparing")
+	threshold := flag.Float64("threshold", 1.10,
+		"fail when geomean(new/old) exceeds this ratio")
+	note := flag.String("note", "", "note stored in the baseline on -update")
+	flag.Parse()
+
+	src := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	got, err := parseBench(src)
+	if err != nil {
+		fatal(err)
+	}
+	if len(got) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+
+	if *update {
+		old := Baseline{}
+		if raw, err := os.ReadFile(*baseline); err == nil {
+			_ = json.Unmarshal(raw, &old)
+		}
+		b := Baseline{Note: old.Note, NsPerOp: got}
+		if *note != "" {
+			b.Note = *note
+		}
+		raw, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*baseline, append(raw, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchcheck: wrote %d benchmarks to %s\n", len(got), *baseline)
+		return
+	}
+
+	raw, err := os.ReadFile(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("%s: %v", *baseline, err))
+	}
+
+	var names []string
+	for name := range base.NsPerOp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	logSum, n := 0.0, 0
+	fail := false
+	for _, name := range names {
+		old := base.NsPerOp[name]
+		now, ok := got[name]
+		if !ok {
+			fmt.Printf("MISSING  %-50s baseline %.0f ns/op, not in run\n", name, old)
+			fail = true
+			continue
+		}
+		ratio := now / old
+		logSum += math.Log(ratio)
+		n++
+		tag := "ok      "
+		if ratio > *threshold {
+			tag = "SLOWER  "
+		} else if ratio < 1/(*threshold) {
+			tag = "faster  "
+		}
+		fmt.Printf("%s %-50s %12.0f -> %12.0f ns/op  (%+.1f%%)\n",
+			tag, name, old, now, (ratio-1)*100)
+	}
+	for name := range got {
+		if _, ok := base.NsPerOp[name]; !ok {
+			fmt.Printf("new      %-50s %12.0f ns/op (not in baseline, skipped)\n", name, got[name])
+		}
+	}
+	if n == 0 {
+		fatal(fmt.Errorf("no overlapping benchmarks between run and baseline"))
+	}
+	geomean := math.Exp(logSum / float64(n))
+	fmt.Printf("geomean  %.3fx over %d benchmarks (threshold %.2fx)\n", geomean, n, *threshold)
+	if geomean > *threshold {
+		fmt.Printf("benchcheck: FAIL — geomean regression %.1f%% exceeds %.0f%%\n",
+			(geomean-1)*100, (*threshold-1)*100)
+		fail = true
+	}
+	if fail {
+		os.Exit(1)
+	}
+	fmt.Println("benchcheck: PASS")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+	os.Exit(1)
+}

@@ -8,6 +8,15 @@
 //	mlimp-bench -list      # list experiment ids
 //	mlimp-bench -run fig13 # run one experiment
 //
+// Profiling:
+//
+//	mlimp-bench -run cluster -cpuprofile cpu.out -memprofile mem.out
+//
+// writes pprof profiles of the run (see README "Profiling" for the
+// analysis workflow). Profile the single-experiment path with -run, or
+// -j 1 for the suite — a parallel sweep interleaves experiments and
+// muddies attribution.
+//
 // Experiments are independent deterministic functions, so the parallel
 // sweep produces artefacts byte-identical to -j 1; only the wall clock
 // changes. Output is always printed in registry order.
@@ -19,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"mlimp/internal/experiments"
@@ -28,6 +38,9 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	run := flag.String("run", "", "run only the experiment with this id")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "number of experiments to run concurrently")
+	simJobs := flag.Int("sim-j", 1, "event-engine shards advanced concurrently inside the fleet experiments (1 = serial; artefacts are identical at any value)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
 
 	if *list {
@@ -36,6 +49,24 @@ func main() {
 		}
 		return
 	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mlimp-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "mlimp-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memprofile)
+
+	experiments.SetSimWorkers(*simJobs)
+
 	if *run != "" {
 		e, ok := experiments.ByID(*run)
 		if !ok {
@@ -59,4 +90,22 @@ func main() {
 	}
 	fmt.Printf("full reproduction suite completed in %v (%d experiments, -j %d)\n",
 		time.Since(start).Round(time.Millisecond), len(results), *jobs)
+}
+
+// writeMemProfile snapshots the allocation profile after a final GC, so
+// the profile reflects live heap rather than collectable garbage.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mlimp-bench: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "mlimp-bench: %v\n", err)
+	}
 }

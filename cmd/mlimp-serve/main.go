@@ -9,6 +9,14 @@
 //	mlimp-serve                              # default 4-node fleet, all policies
 //	mlimp-serve -policy predicted-cost       # one policy
 //	mlimp-serve -nodes "sram,dram,reram/reram@0.5" -mean-gap-ms 2
+//	mlimp-serve -j 4                         # sharded fabric, 4 engine workers
+//
+// With -j >= 1 the fleet runs on the sharded per-node engine fabric
+// (internal/event/parsim): each node owns its own event engine and the
+// dispatcher talks to them over latency-bearing mailboxes. The output
+// is identical for every -j >= 1 — the worker count only changes how
+// many shards advance concurrently. -j 0 (the default) keeps the
+// legacy single-engine dispatcher.
 package main
 
 import (
@@ -97,6 +105,8 @@ func main() {
 	breakerCooldownMs := flag.Float64("breaker-cooldown-ms", 0,
 		"open-breaker cooldown before a half-open probe; 0 means the default")
 	heartbeatMs := flag.Float64("heartbeat-ms", 0, "node heartbeat period; 0 means the default")
+	jobs := flag.Int("j", 0,
+		"engine workers for the sharded per-node fabric; 0 uses the legacy single-engine dispatcher")
 	flag.Parse()
 
 	cfgs, err := parseFleet(*nodes)
@@ -152,7 +162,18 @@ func main() {
 	}
 	for _, name := range policies {
 		p, _ := cluster.PolicyByName(name)
-		d := cluster.NewDispatcher(p, adm, cfgs...)
+		// Both fabrics satisfy the same Submit/EnableFaults/Run contract;
+		// -j selects which one serves the fleet.
+		var d interface {
+			Submit(*runtime.Batch) error
+			EnableFaults(cluster.FaultConfig) error
+			Run() cluster.Summary
+		}
+		if *jobs >= 1 {
+			d = cluster.NewShardedDispatcher(p, adm, cluster.ShardConfig{Workers: *jobs}, cfgs...)
+		} else {
+			d = cluster.NewDispatcher(p, adm, cfgs...)
+		}
 		if faulty {
 			err := d.EnableFaults(cluster.FaultConfig{
 				Plan:            plan,

@@ -42,6 +42,7 @@ type Node struct {
 
 	rt        *runtime.Runtime
 	accepted  int
+	queued    int                // outstanding bookings (dispatcher-side views only)
 	busy      event.Time         // sum of batch execution spans
 	predicted event.Time         // sum of cost estimates of outstanding batches
 	estimates map[int]event.Time // batch ID -> estimate while outstanding
@@ -165,8 +166,9 @@ func (n *Node) abandon(id int) {
 	}
 }
 
-// NewNode builds a node on the shared engine.
-func NewNode(eng *event.Engine, cfg NodeConfig) *Node {
+// newSystemFor builds a node's scheduling system from its config:
+// the layer mix, optionally rescaled.
+func newSystemFor(cfg NodeConfig) *sched.System {
 	if len(cfg.Targets) == 0 {
 		panic("cluster: node needs at least one layer")
 	}
@@ -180,6 +182,12 @@ func NewNode(eng *event.Engine, cfg NodeConfig) *Node {
 			}
 		}
 	}
+	return sys
+}
+
+// NewNode builds a node on the shared engine.
+func NewNode(eng *event.Engine, cfg NodeConfig) *Node {
+	sys := newSystemFor(cfg)
 	scheduler := cfg.Scheduler
 	if scheduler == nil {
 		scheduler = sched.NewGlobal()
@@ -216,8 +224,34 @@ func NewNode(eng *event.Engine, cfg NodeConfig) *Node {
 	return n
 }
 
+// newView builds a dispatcher-side proxy of a node: the same scheduling
+// system (so cost estimates agree with the real node) but no runtime.
+// The sharded dispatcher routes against views — mirrors of remote node
+// state it may legally read at hub time — and the policies cannot tell
+// a view from a live node.
+func newView(cfg NodeConfig) *Node {
+	name := cfg.Name
+	if name == "" {
+		name = fmt.Sprintf("node-%v", cfg.Targets)
+	}
+	return &Node{
+		Name:      name,
+		Sys:       newSystemFor(cfg),
+		estimates: map[int]event.Time{},
+		runningID: -1,
+		estSched:  sched.NewGlobal(),
+		estCache:  map[string]event.Time{},
+	}
+}
+
 // Outstanding returns the number of admitted but unfinished batches.
-func (n *Node) Outstanding() int { return n.rt.Outstanding() }
+// Views (no runtime) count their bookings instead.
+func (n *Node) Outstanding() int {
+	if n.rt == nil {
+		return n.queued
+	}
+	return n.rt.Outstanding()
+}
 
 // PredictedDrain estimates how long from now the node needs to finish
 // everything it has already accepted: the sum of the cost-model

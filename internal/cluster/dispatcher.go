@@ -67,7 +67,8 @@ func retryDelay(base event.Time, attempt int) event.Time {
 // deadline timers armed for superseded bookings.
 type tracker struct {
 	b            *runtime.Batch
-	node         *Node // current booking
+	node         *Node // current booking (a view, for the sharded dispatcher)
+	idx          int   // current booking's node index (sharded dispatcher)
 	attempts     int   // times accepted by a node (execution starts)
 	redispatches int   // failure-driven re-dispatches consumed
 	gen          int   // bumped per booking and per re-dispatch
@@ -334,31 +335,35 @@ func (s Summary) String() string {
 	return sb.String()
 }
 
-// Run drains the shared engine and aggregates the fleet summary.
-func (d *Dispatcher) Run() Summary {
-	d.eng.Run()
-	s := Summary{Policy: d.policy.Name(), Submitted: d.submitted,
-		Completed: d.completed, Shed: d.shed, Retries: d.retries,
-		Redispatches: d.redispatches, DeadLettered: d.deadLettered,
-		ExecErrors: d.execErrors, Timeouts: d.timeouts,
-	}
+// nodeRollup is one node's contribution to the fleet summary, assembled
+// by whichever dispatcher variant (single-engine or sharded) ran the
+// fleet. The sharded dispatcher splits the sources: execution facts come
+// from the node shard, failure attribution from the hub's view.
+type nodeRollup struct {
+	name                          string
+	rt                            runtime.Summary
+	busy                          event.Time
+	failures, crashes, arraysLost int
+	health                        string // "" outside failure-aware mode
+}
+
+// summarize folds per-node rollups into s — makespan, per-node lines,
+// utilization, and fleet-wide latency/queue percentiles. s arrives with
+// the policy name and admission counters already filled in.
+func summarize(s Summary, rollups []nodeRollup) Summary {
 	var lats, queues []float64
-	for _, n := range d.nodes {
-		ns := n.rt.Summarize()
-		if ns.Makespan > s.Makespan {
-			s.Makespan = ns.Makespan
+	for _, r := range rollups {
+		if r.rt.Makespan > s.Makespan {
+			s.Makespan = r.rt.Makespan
 		}
-		nsum := NodeSummary{
-			Name: n.Name, Batches: ns.Batches, BusyTime: n.busy, MeanLatMs: ns.MeanLatMs,
-			Failures: n.failures, Crashes: n.crashes, ArraysLost: n.arraysLost,
-		}
-		if d.faults != nil {
-			nsum.Health = n.Health().String()
-		}
-		s.Nodes = append(s.Nodes, nsum)
-		for _, r := range ns.Results {
-			lats = append(lats, r.Latency().Millis())
-			queues = append(queues, r.QueueDelay().Millis())
+		s.Nodes = append(s.Nodes, NodeSummary{
+			Name: r.name, Batches: r.rt.Batches, BusyTime: r.busy, MeanLatMs: r.rt.MeanLatMs,
+			Failures: r.failures, Crashes: r.crashes, ArraysLost: r.arraysLost,
+			Health: r.health,
+		})
+		for _, res := range r.rt.Results {
+			lats = append(lats, res.Latency().Millis())
+			queues = append(queues, res.QueueDelay().Millis())
 		}
 	}
 	for i := range s.Nodes {
@@ -374,4 +379,26 @@ func (d *Dispatcher) Run() Summary {
 	s.P50QueMs = que.P50
 	s.P99QueMs = que.P99
 	return s
+}
+
+// Run drains the shared engine and aggregates the fleet summary.
+func (d *Dispatcher) Run() Summary {
+	d.eng.Run()
+	s := Summary{Policy: d.policy.Name(), Submitted: d.submitted,
+		Completed: d.completed, Shed: d.shed, Retries: d.retries,
+		Redispatches: d.redispatches, DeadLettered: d.deadLettered,
+		ExecErrors: d.execErrors, Timeouts: d.timeouts,
+	}
+	rollups := make([]nodeRollup, 0, len(d.nodes))
+	for _, n := range d.nodes {
+		r := nodeRollup{
+			name: n.Name, rt: n.rt.Summarize(), busy: n.busy,
+			failures: n.failures, crashes: n.crashes, arraysLost: n.arraysLost,
+		}
+		if d.faults != nil {
+			r.health = n.Health().String()
+		}
+		rollups = append(rollups, r)
+	}
+	return summarize(s, rollups)
 }

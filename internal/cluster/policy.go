@@ -65,6 +65,21 @@ func NewPredictedCost() PredictedCost { return PredictedCost{} }
 // Name implements Policy.
 func (PredictedCost) Name() string { return "predicted-cost" }
 
+// UsesEstimates marks the policy as cost-model driven: the dispatcher
+// must book per-batch cost estimates so PredictedDrain is meaningful.
+// Policies without this marker let the sharded dispatcher skip the
+// booking-time Schedule pass entirely — for estimate-blind policies that
+// pass is pure overhead, and on the hub shard it would serialize the
+// very planning work the node shards are meant to run in parallel.
+func (PredictedCost) UsesEstimates() bool { return true }
+
+// policyUsesEstimates reports whether the policy carries the
+// UsesEstimates marker.
+func policyUsesEstimates(p Policy) bool {
+	u, ok := p.(interface{ UsesEstimates() bool })
+	return ok && u.UsesEstimates()
+}
+
 // Pick implements Policy.
 func (PredictedCost) Pick(eligible []*Node, b *runtime.Batch, now event.Time) *Node {
 	best := eligible[0]

@@ -1,0 +1,631 @@
+package cluster
+
+import (
+	"fmt"
+
+	"mlimp/internal/event"
+	"mlimp/internal/event/parsim"
+	"mlimp/internal/runtime"
+)
+
+// Conservative-parallel fleet serving. ShardedDispatcher is the
+// parallel counterpart of Dispatcher: each node owns a private event
+// engine on its own parsim shard, the dispatcher runs on a hub shard,
+// and every cross-node interaction — dispatch, batch start/completion,
+// heartbeat, eviction, abort — travels through the driver's mailboxes
+// with a fixed network-hop latency. The hop is the fabric's minimum
+// cross-shard latency and therefore the PDES lookahead: shards advance
+// [T, T+hop) windows concurrently, and with a fixed seed the run is
+// byte-identical for any worker count (see event/parsim).
+//
+// The hub never touches live node state. It routes against *views* —
+// per-node proxies holding a mirror scheduling system, the booking
+// ledger (queued count, cost estimates, predicted drain), the circuit
+// breaker, and the liveness belief. Views lag ground truth by up to one
+// hop each way, which models exactly what a real cluster's dispatcher
+// sees: a picture of every node that is one network round-trip stale.
+// Three consequences, all deterministic, differ from the single-engine
+// Dispatcher:
+//
+//   - heartbeats are reactive (hub pings, live nodes pong) rather than
+//     node-initiated, so the liveness limit allows one round-trip of
+//     pong lag on top of the miss budget;
+//   - a completion can cross a deadline expiry in flight: the hub
+//     counts the timeout and re-dispatches, and the late completion is
+//     discarded by its stale booking token — the batch still reaches
+//     exactly one terminal state, but the node-side latency log may
+//     record an execution the hub refused;
+//   - deadlines are armed at the dispatch decision, one hop before the
+//     node accepts.
+type ShardedDispatcher struct {
+	drv    *parsim.Driver
+	hub    *parsim.Shard
+	hop    event.Time
+	policy Policy
+	adm    Admission
+	faults *FaultConfig
+
+	sns      []*shardNode
+	views    []*Node
+	bookings [][]int // per-view outstanding batch IDs in booking order
+	// estimating: the policy carries the UsesEstimates marker, so every
+	// dispatch books a cost estimate (a full planning pass) on the hub
+	// and nodes report start events for drain tracking. Estimate-blind
+	// policies skip both.
+	estimating bool
+
+	trk         map[int]*tracker
+	pending     int
+	lastArrival event.Time
+
+	submitted    int
+	completed    int
+	shed         int
+	retries      int
+	redispatches int
+	deadLettered int
+	execErrors   int
+	timeouts     int
+}
+
+// shardNode binds one real node to its shard. tokens and attempts are
+// node-shard state: the booking token echoed back in completion
+// messages (the hub drops echoes of superseded bookings) and the
+// 0-based attempt index the execution-error coin is flipped with.
+type shardNode struct {
+	node     *Node
+	shard    *parsim.Shard
+	tokens   map[int]int
+	attempts map[int]int
+}
+
+// DefaultHop is the modelled dispatcher<->node network latency: one
+// switch traversal plus NIC processing on a datacenter fabric, ~20µs.
+// It is the minimum cross-shard latency of the fleet simulation and
+// hence the PDES lookahead. It sits far above the DDR4 line round-trip
+// (mainmem.Config.RoundTrip, ~43ns) — the floor a device-level sharding
+// would use — and well below DefaultHeartbeat, so liveness detection
+// still resolves within a beat period.
+const DefaultHop = 20 * event.Microsecond
+
+// ShardConfig configures the parallel simulation fabric.
+type ShardConfig struct {
+	// Workers is the number of window workers; <= 1 runs every window
+	// serially on the calling goroutine (the -j 1 fallback) while
+	// keeping the exact same windowed semantics and event order.
+	Workers int
+	// Hop is the cross-shard network latency and PDES lookahead.
+	// 0 means DefaultHop.
+	Hop event.Time
+}
+
+func (sc ShardConfig) hop() event.Time {
+	if sc.Hop > 0 {
+		return sc.Hop
+	}
+	return DefaultHop
+}
+
+// NewShardedDispatcher builds a fleet with one engine shard per node
+// plus a hub shard for the dispatcher, advanced by a parsim driver with
+// the given worker count. The result is byte-for-byte equivalent across
+// worker counts, including Workers=1.
+func NewShardedDispatcher(policy Policy, adm Admission, sc ShardConfig, cfgs ...NodeConfig) *ShardedDispatcher {
+	if policy == nil {
+		panic("cluster: nil policy")
+	}
+	if len(cfgs) == 0 {
+		panic("cluster: fleet needs at least one node")
+	}
+	hop := sc.hop()
+	drv := parsim.NewDriver(hop, sc.Workers)
+	d := &ShardedDispatcher{
+		drv:    drv,
+		hub:    drv.AddShard(),
+		hop:    hop,
+		policy: policy,
+		adm:    adm,
+		trk:    map[int]*tracker{},
+	}
+	d.estimating = policyUsesEstimates(policy)
+	for i, cfg := range cfgs {
+		if cfg.Name == "" {
+			cfg.Name = fmt.Sprintf("node%d", i)
+		}
+		shard := drv.AddShard()
+		sn := &shardNode{
+			node:     NewNode(shard.Engine(), cfg),
+			shard:    shard,
+			tokens:   map[int]int{},
+			attempts: map[int]int{},
+		}
+		d.sns = append(d.sns, sn)
+		d.views = append(d.views, newView(cfg))
+		d.bookings = append(d.bookings, nil)
+		d.wireNode(i, sn)
+	}
+	return d
+}
+
+// wireNode replaces the node's runtime hooks (installed by NewNode for
+// the same-engine fabric) with mailbox-sending ones. The hooks run on
+// the node's shard and only touch node-shard state; everything bound
+// for the hub crosses through Send.
+func (d *ShardedDispatcher) wireNode(idx int, sn *shardNode) {
+	rt := sn.node.rt
+	rt.OnStart = func(b *runtime.Batch, at event.Time) {
+		if !d.estimating {
+			return
+		}
+		token, ok := sn.tokens[b.ID]
+		if !ok {
+			return
+		}
+		id := b.ID
+		sn.shard.SendAfter(d.hub, d.hop, func() { d.onStarted(idx, id, token, at) })
+	}
+	rt.OnComplete = func(res runtime.BatchResult, err error) {
+		sn.node.busy += res.Completed - res.Start
+		token, ok := sn.tokens[res.ID]
+		if !ok {
+			return // booking superseded while the execution ran
+		}
+		delete(sn.tokens, res.ID)
+		delete(sn.attempts, res.ID)
+		failed := err != nil
+		sn.shard.SendAfter(d.hub, d.hop, func() { d.onCompleted(idx, res.ID, failed, token) })
+	}
+}
+
+// Workers returns the driver's worker count.
+func (d *ShardedDispatcher) Workers() int { return d.drv.Workers() }
+
+// WindowStats returns the parsim driver's window statistics after Run —
+// the measured parallelism the simulation exposed.
+func (d *ShardedDispatcher) WindowStats() parsim.Stats { return d.drv.Stats() }
+
+// Hop returns the cross-shard network latency (the PDES lookahead).
+func (d *ShardedDispatcher) Hop() event.Time { return d.hop }
+
+// Nodes returns the real (execution-side) nodes in configuration order.
+// Between construction and Run their state is safe to read; during Run
+// it belongs to the node shards.
+func (d *ShardedDispatcher) Nodes() []*Node {
+	nodes := make([]*Node, len(d.sns))
+	for i, sn := range d.sns {
+		nodes[i] = sn.node
+	}
+	return nodes
+}
+
+// Submit registers a batch arrival at b.Arrival on the hub. Must be
+// called before Run; same contract as Dispatcher.Submit.
+func (d *ShardedDispatcher) Submit(b *runtime.Batch) error {
+	if b == nil {
+		return runtime.ErrNilBatch
+	}
+	if len(b.Jobs) == 0 {
+		return fmt.Errorf("%w (batch %d)", runtime.ErrEmptyBatch, b.ID)
+	}
+	if _, dup := d.trk[b.ID]; dup {
+		return fmt.Errorf("cluster: duplicate batch ID %d", b.ID)
+	}
+	tr := &tracker{b: b}
+	d.trk[b.ID] = tr
+	d.pending++
+	d.submitted++
+	if b.Arrival > d.lastArrival {
+		d.lastArrival = b.Arrival
+	}
+	d.hub.Engine().At(b.Arrival, func() { d.dispatch(b, 0, nil) })
+	return nil
+}
+
+// finish moves a batch to a terminal state exactly once.
+func (d *ShardedDispatcher) finish(tr *tracker) bool {
+	if tr.done {
+		return false
+	}
+	tr.done = true
+	d.pending--
+	return true
+}
+
+// eligible mirrors Dispatcher.eligible against a view.
+func (d *ShardedDispatcher) eligible(v *Node, b *runtime.Batch) bool {
+	if v.Outstanding() >= d.adm.queueCap() || !v.CanRun(b.Jobs) {
+		return false
+	}
+	if d.faults != nil {
+		if v.detectedDown || !v.breaker.Allow(d.hub.Engine().Now()) {
+			return false
+		}
+	}
+	return true
+}
+
+// dispatch routes one arrival from the hub: policy pick over the views,
+// book the estimate hub-side, and send the batch to the chosen node's
+// shard. The booking token (the tracker generation) travels with the
+// batch; completions echo it back so the hub can discard echoes of
+// bookings it has since abandoned.
+func (d *ShardedDispatcher) dispatch(b *runtime.Batch, attempt int, avoid *Node) {
+	tr := d.trk[b.ID]
+	if tr == nil || tr.done {
+		return
+	}
+	var eligible, fallback []*Node
+	for _, v := range d.views {
+		if !d.eligible(v, b) {
+			continue
+		}
+		if v == avoid {
+			fallback = append(fallback, v)
+			continue
+		}
+		eligible = append(eligible, v)
+	}
+	if len(eligible) == 0 {
+		eligible = fallback
+	}
+	if len(eligible) == 0 {
+		if attempt < d.adm.MaxRetries {
+			d.retries++
+			d.hub.Engine().After(retryDelay(d.adm.backoff(), attempt), func() { d.dispatch(b, attempt+1, avoid) })
+			return
+		}
+		if d.finish(tr) {
+			d.shed++
+		}
+		return
+	}
+	v := d.policy.Pick(eligible, b, d.hub.Engine().Now())
+	idx := d.viewIndex(v)
+	tr.node, tr.idx = v, idx
+	tr.gen++
+	tr.attempts++
+	token := tr.gen
+	if d.faults != nil {
+		v.breaker.OnPick()
+		if dl := d.faults.Deadline; dl > 0 {
+			gen := tr.gen
+			d.hub.Engine().After(dl, func() { d.onDeadline(tr, gen) })
+		}
+	}
+	if d.estimating {
+		est := v.EstimateCost(b.Jobs)
+		v.estimates[b.ID] = est
+		v.predicted += est
+	}
+	v.queued++
+	v.accepted++
+	d.bookings[idx] = append(d.bookings[idx], b.ID)
+	attemptIdx := tr.attempts - 1
+	sn := d.sns[idx]
+	d.hub.SendAfter(sn.shard, d.hop, func() {
+		sn.tokens[b.ID] = token
+		sn.attempts[b.ID] = attemptIdx
+		if err := sn.node.rt.Enqueue(b); err != nil {
+			panic("cluster: " + err.Error()) // batches are validated at Submit
+		}
+	})
+}
+
+// viewIndex locates a view's node index. The fleet is small (policy
+// Pick is already O(nodes)), so a scan beats carrying a map around.
+func (d *ShardedDispatcher) viewIndex(v *Node) int {
+	for i, x := range d.views {
+		if x == v {
+			return i
+		}
+	}
+	panic("cluster: policy picked a node outside the eligible set")
+}
+
+// release drops a booking from a view's ledger: the cost estimate, the
+// queued count, and the booking-order entry. Exactly one release
+// happens per booking — completion, deadline, or eviction, whichever
+// the token/generation guards let through first.
+func (d *ShardedDispatcher) release(idx, id int) {
+	v := d.views[idx]
+	v.abandon(id)
+	v.queued--
+	ids := d.bookings[idx]
+	for i, x := range ids {
+		if x == id {
+			d.bookings[idx] = append(ids[:i], ids[i+1:]...)
+			break
+		}
+	}
+}
+
+// onStarted updates the view's drain tracking when the node reports a
+// batch entering execution. at is node time; the view keeps it as the
+// run start so PredictedDrain subtracts real elapsed execution.
+func (d *ShardedDispatcher) onStarted(idx, id, token int, at event.Time) {
+	tr := d.trk[id]
+	if tr == nil || tr.done || tr.gen != token {
+		return
+	}
+	v := d.views[idx]
+	v.runningID, v.runStart = id, at
+}
+
+// onCompleted settles a completion echo on the hub. A stale token means
+// the hub already abandoned that booking (deadline or eviction) — the
+// echo is dropped and whatever path superseded it owns the batch.
+func (d *ShardedDispatcher) onCompleted(idx, id int, failed bool, token int) {
+	tr := d.trk[id]
+	if tr == nil || tr.done || tr.gen != token {
+		return
+	}
+	tr.gen++ // disarm the deadline for this booking
+	v := d.views[idx]
+	d.release(idx, id)
+	if !failed {
+		if d.faults != nil {
+			v.breaker.OnSuccess()
+		}
+		if d.finish(tr) {
+			d.completed++
+		}
+		return
+	}
+	d.execErrors++
+	v.failures++
+	if d.faults == nil {
+		if d.finish(tr) {
+			d.deadLettered++
+		}
+		return
+	}
+	v.breaker.OnFailure(d.hub.Engine().Now())
+	d.redispatch(tr, v)
+}
+
+// onDeadline fires on the hub when a booking's completion deadline
+// lapses without an accepted completion echo.
+func (d *ShardedDispatcher) onDeadline(tr *tracker, gen int) {
+	if tr.done || tr.gen != gen {
+		return
+	}
+	idx, v := tr.idx, tr.node
+	d.timeouts++
+	v.failures++
+	v.breaker.OnFailure(d.hub.Engine().Now())
+	id := tr.b.ID
+	sn := d.sns[idx]
+	d.hub.SendAfter(sn.shard, d.hop, func() {
+		delete(sn.tokens, id)
+		delete(sn.attempts, id)
+		sn.node.rt.Abort(id)
+	})
+	d.release(idx, id)
+	d.redispatch(tr, v)
+}
+
+// redispatch sends a failed batch back through routing with the same
+// budget rules as the single-engine dispatcher.
+func (d *ShardedDispatcher) redispatch(tr *tracker, avoid *Node) {
+	if tr.redispatches >= d.faults.maxRedispatch() {
+		if d.finish(tr) {
+			d.deadLettered++
+		}
+		return
+	}
+	tr.redispatches++
+	d.redispatches++
+	tr.gen++
+	d.dispatch(tr.b, 0, avoid)
+}
+
+// ticking mirrors Dispatcher.ticking on hub time.
+func (d *ShardedDispatcher) ticking() bool {
+	return d.pending > 0 || d.hub.Engine().Now() < d.lastArrival
+}
+
+// EnableFaults switches the sharded dispatcher into failure-aware mode.
+// Same contract as Dispatcher.EnableFaults; the mechanisms route
+// through the mailboxes: the fault plan is seeded into the node shards
+// (capacity faults mirrored into the hub's views at the same instants),
+// execution-error coins flip node-side with the attempt index carried
+// in the dispatch message, and liveness is hub ping -> node pong.
+func (d *ShardedDispatcher) EnableFaults(fc FaultConfig) error {
+	if d.faults != nil {
+		return fmt.Errorf("cluster: faults already enabled")
+	}
+	if err := fc.Plan.Validate(); err != nil {
+		return err
+	}
+	byName := map[string]int{}
+	for i, sn := range d.sns {
+		byName[sn.node.Name] = i
+	}
+	if fc.Plan != nil {
+		for _, f := range fc.Plan.ArrayFaults {
+			if _, ok := byName[f.Node]; !ok {
+				return fmt.Errorf("cluster: array fault names unknown node %q", f.Node)
+			}
+		}
+		for _, c := range fc.Plan.Crashes {
+			if _, ok := byName[c.Node]; !ok {
+				return fmt.Errorf("cluster: crash names unknown node %q", c.Node)
+			}
+		}
+	}
+	d.faults = &fc
+	execFn := fc.execFn()
+	for i, sn := range d.sns {
+		d.views[i].breaker = newBreaker(fc.breakerK(), fc.breakerCooldown())
+		if execFn != nil {
+			sn := sn
+			name := sn.node.Name
+			sn.node.rt.ExecError = func(b *runtime.Batch) error {
+				attempt := sn.attempts[b.ID]
+				if execFn(b.ID, attempt) {
+					return fmt.Errorf("cluster: batch %d failed on %s (attempt %d)",
+						b.ID, name, attempt)
+				}
+				return nil
+			}
+		}
+	}
+	d.schedulePlan(byName)
+	d.startLiveness()
+	return nil
+}
+
+// schedulePlan seeds the fault plan into the node shards' engines —
+// crashes and capacity faults are local facts that happen at exact node
+// times — and mirrors capacity faults into the hub's views at the same
+// instants, so routing estimates degrade in lockstep with the nodes
+// (a real dispatcher would learn of them via a control-plane
+// notification; the zero-delay mirror keeps estimate behaviour
+// identical to the single-engine fabric). Crashes are deliberately not
+// mirrored: the hub's belief about liveness comes only from missed
+// pongs, as it would in production.
+func (d *ShardedDispatcher) schedulePlan(byName map[string]int) {
+	if d.faults.Plan == nil {
+		return
+	}
+	for _, f := range d.faults.Plan.ArrayFaults {
+		f := f
+		idx := byName[f.Node]
+		sn, v := d.sns[idx], d.views[idx]
+		sn.shard.Engine().At(f.At, func() {
+			n := sn.node
+			n.degrade(f.Target, f.Magnitude(n.Sys.HealthyCapacity(f.Target)))
+		})
+		d.hub.Engine().At(f.At, func() {
+			v.degrade(f.Target, f.Magnitude(v.Sys.HealthyCapacity(f.Target)))
+		})
+		if f.Transient() {
+			sn.shard.Engine().At(f.Recover, func() {
+				n := sn.node
+				n.restore(f.Target, f.Magnitude(n.Sys.HealthyCapacity(f.Target)))
+			})
+			d.hub.Engine().At(f.Recover, func() {
+				v.restore(f.Target, f.Magnitude(v.Sys.HealthyCapacity(f.Target)))
+			})
+		}
+	}
+	for _, c := range d.faults.Plan.Crashes {
+		c := c
+		sn := d.sns[byName[c.Node]]
+		sn.shard.Engine().At(c.At, sn.node.crash)
+		if c.Transient() {
+			sn.shard.Engine().At(c.Recover, func() { sn.node.revive(sn.shard.Engine().Now()) })
+		}
+	}
+}
+
+// startLiveness arms the hub's ping and monitor loops. Unlike the
+// single-engine fabric, where nodes beat into shared state, liveness is
+// a protocol: the hub pings every period, live nodes pong, and the
+// monitor declares a node dead when its last pong is older than the
+// miss budget plus one ping round-trip of slack.
+func (d *ShardedDispatcher) startLiveness() {
+	period := d.faults.heartbeat()
+	var ping func()
+	ping = func() {
+		for i, sn := range d.sns {
+			i, sn := i, sn
+			d.hub.SendAfter(sn.shard, d.hop, func() {
+				if sn.node.down {
+					return
+				}
+				sn.shard.SendAfter(d.hub, d.hop, func() {
+					d.views[i].lastBeat = d.hub.Engine().Now()
+				})
+			})
+		}
+		if d.ticking() {
+			d.hub.Engine().After(period, ping)
+		}
+	}
+	var monitor func()
+	monitor = func() {
+		d.monitorOnce()
+		if d.ticking() {
+			d.hub.Engine().After(period, monitor)
+		}
+	}
+	d.hub.Engine().After(period, ping)
+	d.hub.Engine().After(period, monitor)
+}
+
+// monitorOnce sweeps the views: nodes whose pongs went silent past the
+// limit are declared dead, their bookings released in booking order
+// (deterministic — never a map walk) and re-dispatched, and an evict
+// message tells the node shard to drop the stranded work. A view that
+// pongs again rejoins routing.
+func (d *ShardedDispatcher) monitorOnce() {
+	now := d.hub.Engine().Now()
+	period := d.faults.heartbeat()
+	limit := event.Time(d.faults.heartbeatMiss())*period + 2*d.hop
+	for i, v := range d.views {
+		silent := now - v.lastBeat
+		if !v.detectedDown && silent > limit {
+			v.detectedDown = true
+			sn := d.sns[i]
+			d.hub.SendAfter(sn.shard, d.hop, func() {
+				for _, b := range sn.node.rt.Evict() {
+					delete(sn.tokens, b.ID)
+					delete(sn.attempts, b.ID)
+				}
+			})
+			ids := append([]int(nil), d.bookings[i]...)
+			for _, id := range ids {
+				tr := d.trk[id]
+				d.release(i, id)
+				if tr == nil || tr.done {
+					continue
+				}
+				tr.gen++ // invalidate the booking's deadline and echoes
+				d.redispatch(tr, v)
+			}
+		} else if v.detectedDown && silent <= limit {
+			v.detectedDown = false
+		}
+	}
+}
+
+// mergedHealth classifies a node combining ground truth held by the
+// node shard (crash flag, lost arrays) with the hub's belief (liveness,
+// breaker state) — the same verdict Node.Health gives when both live on
+// one engine.
+func mergedHealth(real, view *Node) Health {
+	if real.down || view.detectedDown {
+		return DownHealth
+	}
+	if real.arraysLost > 0 || (view.breaker != nil && view.breaker.state != breakerClosed) {
+		return Degraded
+	}
+	return Healthy
+}
+
+// Run advances all shards to quiescence — in parallel for Workers > 1 —
+// and aggregates the fleet summary. Execution facts (latency results,
+// busy time, crashes, lost arrays) come from the node shards; failure
+// attribution and terminal-state counters from the hub.
+func (d *ShardedDispatcher) Run() Summary {
+	d.drv.Run()
+	s := Summary{Policy: d.policy.Name(), Submitted: d.submitted,
+		Completed: d.completed, Shed: d.shed, Retries: d.retries,
+		Redispatches: d.redispatches, DeadLettered: d.deadLettered,
+		ExecErrors: d.execErrors, Timeouts: d.timeouts,
+	}
+	rollups := make([]nodeRollup, 0, len(d.sns))
+	for i, sn := range d.sns {
+		v := d.views[i]
+		r := nodeRollup{
+			name: sn.node.Name, rt: sn.node.rt.Summarize(), busy: sn.node.busy,
+			failures: v.failures, crashes: sn.node.crashes, arraysLost: sn.node.arraysLost,
+		}
+		if d.faults != nil {
+			r.health = mergedHealth(sn.node, v).String()
+		}
+		rollups = append(rollups, r)
+	}
+	return summarize(s, rollups)
+}

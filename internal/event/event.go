@@ -107,6 +107,17 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending returns the number of scheduled but not yet executed events.
 func (e *Engine) Pending() int { return len(e.events) }
 
+// NextAt returns the timestamp of the earliest pending event, and false
+// when the queue is empty. Peeking does not advance the clock — this is
+// the probe the parallel shard driver (event/parsim) uses to find the
+// global minimum next-event time before opening a simulation window.
+func (e *Engine) NextAt() (Time, bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].at, true
+}
+
 // Reserve grows the event queue's backing array so that at least n more
 // events can be scheduled without reallocation — the hint callers with a
 // known arrival count (dispatchers, load generators) use to keep the

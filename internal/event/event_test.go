@@ -206,6 +206,88 @@ func TestReserve(t *testing.T) {
 	}
 }
 
+// TestRunUntilEventExactlyAtDeadline pins the boundary the parsim
+// window driver leans on: an event scheduled exactly at the deadline is
+// inside the window (<=, not <), fires, and leaves the clock at the
+// deadline with no idle padding needed.
+func TestRunUntilEventExactlyAtDeadline(t *testing.T) {
+	var e Engine
+	var fired []Time
+	for _, at := range []Time{10, 25, 26} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(25)
+	if want := []Time{10, 25}; len(fired) != 2 || fired[0] != want[0] || fired[1] != want[1] {
+		t.Errorf("fired = %v, want %v", fired, want)
+	}
+	if e.Now() != 25 {
+		t.Errorf("Now = %v, want the deadline 25", e.Now())
+	}
+	if at, ok := e.NextAt(); !ok || at != 26 {
+		t.Errorf("NextAt = %v,%v, want 26,true", at, ok)
+	}
+	// An event cascaded onto the exact deadline during the deadline
+	// event itself must also run in this RunUntil call.
+	var cascade Engine
+	hit := false
+	cascade.At(25, func() { cascade.At(25, func() { hit = true }) })
+	cascade.RunUntil(25)
+	if !hit {
+		t.Error("event scheduled at the deadline, from the deadline, did not fire")
+	}
+}
+
+// TestReserveShrinkThenGrow: a Reserve smaller than a previous one must
+// not shrink capacity, and a later larger Reserve must grow from the
+// current length, keeping all pending events.
+func TestReserveShrinkThenGrow(t *testing.T) {
+	var e Engine
+	e.Reserve(128)
+	big := cap(e.events)
+	e.Reserve(8) // no-op: plenty free
+	if cap(e.events) != big {
+		t.Fatalf("smaller Reserve changed cap %d -> %d", big, cap(e.events))
+	}
+	n := 0
+	for i := 0; i < 100; i++ {
+		e.At(Time(i), func() { n++ })
+	}
+	e.Reserve(4 * big) // grow with events pending
+	if got := cap(e.events) - e.Pending(); got < 4*big {
+		t.Errorf("free capacity after grow = %d, want >= %d", got, 4*big)
+	}
+	e.Run()
+	if n != 100 {
+		t.Errorf("grow lost events: fired %d of 100", n)
+	}
+}
+
+// TestStepAfterDrain: once the queue drains, Step reports false, moves
+// nothing, and the engine stays usable for a later schedule.
+func TestStepAfterDrain(t *testing.T) {
+	var e Engine
+	e.At(5, func() {})
+	e.Run()
+	for i := 0; i < 3; i++ {
+		if e.Step() {
+			t.Fatal("Step on a drained engine claimed to fire")
+		}
+	}
+	if e.Now() != 5 || e.Fired() != 1 {
+		t.Errorf("drained engine at now=%v fired=%d, want 5/1", e.Now(), e.Fired())
+	}
+	if _, ok := e.NextAt(); ok {
+		t.Error("NextAt reports a pending event on a drained engine")
+	}
+	// The engine accepts and runs new work after draining.
+	ran := false
+	e.At(9, func() { ran = true })
+	if !e.Step() || !ran || e.Now() != 9 {
+		t.Errorf("post-drain schedule did not run: ran=%v now=%v", ran, e.Now())
+	}
+}
+
 // TestPushPopNoAllocs pins the tentpole claim: the steady-state
 // schedule/fire path performs zero allocations.
 func TestPushPopNoAllocs(t *testing.T) {

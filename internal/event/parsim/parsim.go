@@ -1,0 +1,299 @@
+// Package parsim parallelises the deterministic event engine across
+// shards: a conservative parallel discrete-event simulation (PDES)
+// driver in the Chandy–Misra tradition, specialised to the fixed-
+// lookahead case. Each shard owns a private event.Engine; the driver
+// advances all shards through a sequence of simulation windows
+// [T, T+lookahead), where T is the globally earliest pending event and
+// the lookahead is the minimum latency of any cross-shard interaction
+// (the dispatch/network hop of internal/cluster, bounded below by the
+// DDR4 round trip of internal/mainmem). Within a window the shards are
+// causally independent — any event a shard executes at time t can only
+// influence another shard at t+lookahead or later, which is strictly
+// beyond the window — so the shards may run concurrently without any
+// locking of simulation state.
+//
+// Cross-shard events travel through per-(src,dst) SPSC mailboxes: only
+// the source shard's executing goroutine appends, and only the driver
+// drains, at the window barrier, on one goroutine. Determinism is a
+// contract, not an accident: at every barrier the driver merges each
+// destination's incoming messages in (at, src shard, per-pair sequence)
+// order before inserting them into the destination engine, which gives
+// every message a canonical position in the destination's (at, seq)
+// total order. The merged order depends only on simulated time and
+// shard topology — never on OS scheduling — so a run with 1 worker and
+// a run with N workers execute byte-identical event sequences. The
+// per-pair sequence numbers realise the "global seq ranges per shard
+// per window" tie-break: within one delivery timestamp, messages order
+// by source shard ID, then by the order the source sent them.
+package parsim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mlimp/internal/event"
+)
+
+// message is one cross-shard event in flight.
+type message struct {
+	at  event.Time
+	src int    // sending shard ID
+	seq uint64 // per-(src,dst) send counter
+	fn  func()
+}
+
+// Shard is one partition of the simulation: a private engine plus the
+// outboxes feeding every other shard. A shard's engine may only be
+// touched by the goroutine currently executing that shard's window (or
+// by anyone between Run calls / before Run).
+type Shard struct {
+	id  int
+	drv *Driver
+	eng *event.Engine
+	out [][]message // outboxes indexed by destination shard ID
+	seq []uint64    // per-destination send counters
+}
+
+// ID returns the shard's index in driver order.
+func (s *Shard) ID() int { return s.id }
+
+// Engine returns the shard's private engine. Before Run, callers seed
+// initial events directly here (arrival streams, fault plans); during
+// Run, only events executing on this shard may touch it.
+func (s *Shard) Engine() *event.Engine { return s.eng }
+
+// Send schedules fn on dst's engine at absolute time at. It must be
+// called from an event executing on s (or before Run), and at must
+// respect the conservative lookahead contract: at >= s.Engine().Now() +
+// lookahead. Violating the contract would let a window's output land
+// inside the same window on another shard — the causality error
+// conservative PDES exists to prevent — so it panics.
+func (s *Shard) Send(dst *Shard, at event.Time, fn func()) {
+	if s.drv != dst.drv {
+		panic("parsim: send across drivers")
+	}
+	if at < s.eng.Now()+s.drv.lookahead {
+		panic(fmt.Sprintf("parsim: send at %d violates lookahead %d from now %d",
+			at, s.drv.lookahead, s.eng.Now()))
+	}
+	s.seq[dst.id]++
+	s.out[dst.id] = append(s.out[dst.id], message{at: at, src: s.id, seq: s.seq[dst.id], fn: fn})
+}
+
+// SendAfter schedules fn on dst d after the sending shard's current
+// time. d must be at least the driver's lookahead.
+func (s *Shard) SendAfter(dst *Shard, d event.Time, fn func()) {
+	s.Send(dst, s.eng.Now()+d, fn)
+}
+
+// Driver owns the shards and advances them window by window.
+type Driver struct {
+	lookahead event.Time
+	workers   int
+	shards    []*Shard
+	ran       bool
+	stats     Stats
+
+	// Window state shared with the worker pool. deadline is written by
+	// the driver goroutine before any shard is handed to a worker; the
+	// channel send/receive pair orders the write before every read.
+	deadline event.Time
+	work     chan *Shard
+	wg       sync.WaitGroup
+}
+
+// NewDriver returns a driver that advances shards in windows of the
+// given lookahead using the given number of workers. workers <= 1 runs
+// every window on the calling goroutine — the serial fallback, which
+// executes the exact same canonical event order with zero goroutines.
+func NewDriver(lookahead event.Time, workers int) *Driver {
+	if lookahead <= 0 {
+		panic("parsim: lookahead must be positive")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return &Driver{lookahead: lookahead, workers: workers}
+}
+
+// Stats describes a finished run's window structure — the driver-level
+// evidence of how much concurrency the simulation exposed. AvgActive is
+// the mean number of shards runnable per window: the available
+// parallelism, and (clamped by the worker count and host cores) the
+// wall-clock speedup bound. It is a property of the simulation, not the
+// host, so it is byte-identical across worker counts.
+type Stats struct {
+	Windows   int // barriers executed
+	MaxActive int // most shards runnable in one window
+	activeSum int
+}
+
+// AvgActive returns the mean runnable shards per window.
+func (s Stats) AvgActive() float64 {
+	if s.Windows == 0 {
+		return 0
+	}
+	return float64(s.activeSum) / float64(s.Windows)
+}
+
+// Stats returns the run's window statistics (zero before Run).
+func (d *Driver) Stats() Stats { return d.stats }
+
+// Lookahead returns the window width.
+func (d *Driver) Lookahead() event.Time { return d.lookahead }
+
+// Workers returns the configured worker count.
+func (d *Driver) Workers() int { return d.workers }
+
+// AddShard creates a new shard. All shards must be added before Run.
+func (d *Driver) AddShard() *Shard {
+	if d.ran {
+		panic("parsim: AddShard after Run")
+	}
+	s := &Shard{id: len(d.shards), drv: d, eng: &event.Engine{}}
+	d.shards = append(d.shards, s)
+	// Give every shard (including this one) an outbox row to s and
+	// grow s's own rows to cover the fleet so far.
+	for _, sh := range d.shards {
+		for len(sh.out) < len(d.shards) {
+			sh.out = append(sh.out, nil)
+			sh.seq = append(sh.seq, 0)
+		}
+	}
+	return s
+}
+
+// Run drains every shard: windows open at the globally earliest pending
+// event and close lookahead later; active shards execute concurrently
+// (up to the worker count); the barrier then merges mailboxes in
+// canonical order. It returns the latest shard time once no events or
+// in-flight messages remain. Run may be called once.
+func (d *Driver) Run() event.Time {
+	if d.ran {
+		panic("parsim: Run called twice")
+	}
+	d.ran = true
+	if d.workers > 1 {
+		d.startPool()
+		defer close(d.work)
+	}
+	active := make([]*Shard, 0, len(d.shards))
+	for {
+		// Flush mailboxes first: this is the barrier after the previous
+		// window, and it also delivers messages seeded before Run.
+		d.deliver()
+		next, any := event.Time(0), false
+		for _, s := range d.shards {
+			if t, ok := s.eng.NextAt(); ok && (!any || t < next) {
+				next, any = t, true
+			}
+		}
+		if !any {
+			break
+		}
+		deadline := next + d.lookahead - 1
+		active = active[:0]
+		for _, s := range d.shards {
+			if t, ok := s.eng.NextAt(); ok && t <= deadline {
+				active = append(active, s)
+			}
+		}
+		d.stats.Windows++
+		d.stats.activeSum += len(active)
+		if len(active) > d.stats.MaxActive {
+			d.stats.MaxActive = len(active)
+		}
+		d.runWindow(active, deadline)
+	}
+	var end event.Time
+	for _, s := range d.shards {
+		if now := s.eng.Now(); now > end {
+			end = now
+		}
+	}
+	return end
+}
+
+// runWindow executes every active shard up to the window deadline.
+// Windows with one active shard skip the pool: handing a lone shard to
+// a worker would buy no overlap and cost two channel hops.
+func (d *Driver) runWindow(active []*Shard, deadline event.Time) {
+	if d.workers == 1 || len(active) == 1 {
+		for _, s := range active {
+			runShard(s.eng, deadline)
+		}
+		return
+	}
+	d.deadline = deadline
+	d.wg.Add(len(active))
+	for _, s := range active {
+		d.work <- s
+	}
+	d.wg.Wait()
+}
+
+// runShard executes e's events up to and including deadline without
+// padding the clock beyond the last executed event — unlike RunUntil,
+// which advances to the deadline. Leaving the clock on the last event
+// keeps shard times meaningful (Run's result is the true end of the
+// simulation) and costs nothing: deliveries always land strictly after
+// the window, so an un-padded clock can never cause a scheduling-in-
+// the-past panic.
+func runShard(e *event.Engine, deadline event.Time) {
+	for {
+		t, ok := e.NextAt()
+		if !ok || t > deadline {
+			return
+		}
+		e.Step()
+	}
+}
+
+// startPool spawns the persistent window workers.
+func (d *Driver) startPool() {
+	d.work = make(chan *Shard, len(d.shards))
+	for i := 0; i < d.workers; i++ {
+		go func() {
+			for s := range d.work {
+				runShard(s.eng, d.deadline)
+				d.wg.Done()
+			}
+		}()
+	}
+}
+
+// deliver is the window barrier: every destination's incoming messages,
+// gathered across all sources, are merged in canonical (at, src, seq)
+// order and inserted into the destination engine. Insertion order fixes
+// the engine-level tie-break, so equal-timestamp deliveries execute in
+// source-shard order on every run regardless of worker count.
+func (d *Driver) deliver() {
+	for dstID, dst := range d.shards {
+		var batch []message
+		for _, src := range d.shards {
+			if pending := src.out[dstID]; len(pending) > 0 {
+				batch = append(batch, pending...)
+				clear(pending) // drop the closure refs; keep the capacity
+				src.out[dstID] = pending[:0]
+			}
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		sort.Slice(batch, func(i, j int) bool {
+			a, b := batch[i], batch[j]
+			if a.at != b.at {
+				return a.at < b.at
+			}
+			if a.src != b.src {
+				return a.src < b.src
+			}
+			return a.seq < b.seq
+		})
+		dst.eng.Reserve(len(batch))
+		for _, m := range batch {
+			dst.eng.At(m.at, m.fn)
+		}
+	}
+}

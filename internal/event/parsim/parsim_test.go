@@ -1,0 +1,210 @@
+package parsim
+
+import (
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"mlimp/internal/event"
+)
+
+const hop = 10 * event.Microsecond
+
+// trace records (shard, at, label) triples in execution order per shard;
+// per-shard traces are the observable artefact two runs must agree on.
+type trace struct {
+	perShard [][]string
+}
+
+func (tr *trace) log(shard int, at event.Time, label string) {
+	tr.perShard[shard] = append(tr.perShard[shard], fmt.Sprintf("%d@%d:%s", shard, at, label))
+}
+
+// buildPingPong wires nShards spokes around shard 0 as a hub: every
+// spoke fires rounds of local events and sends acks to the hub, the hub
+// replies, bounded by depth. Returns the driver and the trace.
+func buildPingPong(nShards, depth, workers int) (*Driver, *trace) {
+	d := NewDriver(hop, workers)
+	tr := &trace{perShard: make([][]string, nShards)}
+	shards := make([]*Shard, nShards)
+	for i := range shards {
+		shards[i] = d.AddShard()
+	}
+	hub := shards[0]
+	var pong func(spoke int, round int) func()
+	pong = func(spoke, round int) func() {
+		return func() {
+			tr.log(0, hub.Engine().Now(), fmt.Sprintf("pong-%d-%d", spoke, round))
+			if round < depth {
+				sp := shards[spoke]
+				hub.SendAfter(sp, hop, func() {
+					tr.log(spoke, sp.Engine().Now(), fmt.Sprintf("ping-%d", round+1))
+					sp.SendAfter(hub, hop, pong(spoke, round+1))
+				})
+			}
+		}
+	}
+	for i := 1; i < nShards; i++ {
+		i := i
+		sp := shards[i]
+		// Stagger local start times so windows overlap several shards.
+		sp.Engine().At(event.Time(i)*event.Microsecond, func() {
+			tr.log(i, sp.Engine().Now(), "start")
+			sp.SendAfter(hub, hop, pong(i, 0))
+		})
+	}
+	return d, tr
+}
+
+func TestWorkerCountEquivalence(t *testing.T) {
+	var want [][]string
+	var wantStats Stats
+	for _, workers := range []int{1, 2, 4, 8} {
+		d, tr := buildPingPong(9, 12, workers)
+		d.Run()
+		if want == nil {
+			want = tr.perShard
+			wantStats = d.Stats()
+			if wantStats.Windows == 0 || wantStats.MaxActive < 2 || wantStats.AvgActive() <= 1 {
+				t.Fatalf("ping-pong exposed no parallelism: %+v", wantStats)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(tr.perShard, want) {
+			t.Fatalf("workers=%d trace diverges from workers=1", workers)
+		}
+		// Window structure is a property of the simulation, not the
+		// worker count.
+		if d.Stats() != wantStats {
+			t.Fatalf("workers=%d window stats %+v diverge from %+v", workers, d.Stats(), wantStats)
+		}
+	}
+}
+
+// TestDeliveryOrderAtTies sends messages from several shards that all
+// arrive at the hub at the same instant; the canonical merge must order
+// them by source shard regardless of worker count.
+func TestDeliveryOrderAtTies(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		d := NewDriver(hop, workers)
+		hub := d.AddShard()
+		var order []int
+		const n = 6
+		for i := 1; i <= n; i++ {
+			i := i
+			sp := d.AddShard()
+			// All spokes execute at t=0 and send for delivery at exactly hop.
+			sp.Engine().At(0, func() {
+				sp.Send(hub, hop, func() { order = append(order, i) })
+			})
+		}
+		d.Run()
+		if len(order) != n {
+			t.Fatalf("workers=%d: delivered %d of %d", workers, len(order), n)
+		}
+		for i := 1; i < len(order); i++ {
+			if order[i] < order[i-1] {
+				t.Fatalf("workers=%d: deliveries out of shard order: %v", workers, order)
+			}
+		}
+	}
+}
+
+// TestPerPairFIFO checks that two messages from one shard to another at
+// the same delivery time run in send order.
+func TestPerPairFIFO(t *testing.T) {
+	d := NewDriver(hop, 1)
+	a, b := d.AddShard(), d.AddShard()
+	var got []string
+	a.Engine().At(0, func() {
+		a.Send(b, hop, func() { got = append(got, "first") })
+		a.Send(b, hop, func() { got = append(got, "second") })
+	})
+	d.Run()
+	if want := []string{"first", "second"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestSetupSendsDeliveredWithoutLocalEvents(t *testing.T) {
+	d := NewDriver(hop, 2)
+	a, b := d.AddShard(), d.AddShard()
+	fired := false
+	a.Send(b, hop, func() { fired = true })
+	end := d.Run()
+	if !fired {
+		t.Fatal("setup-time Send never delivered")
+	}
+	if end != hop {
+		t.Fatalf("end time %d, want %d", end, hop)
+	}
+}
+
+func TestLookaheadViolationPanics(t *testing.T) {
+	d := NewDriver(hop, 1)
+	a, b := d.AddShard(), d.AddShard()
+	a.Engine().At(hop, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Send inside the lookahead window did not panic")
+			}
+		}()
+		a.Send(b, a.Engine().Now()+hop-1, func() {})
+	})
+	d.Run()
+}
+
+func TestRunTwicePanics(t *testing.T) {
+	d := NewDriver(hop, 1)
+	d.AddShard()
+	d.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("second Run did not panic")
+		}
+	}()
+	d.Run()
+}
+
+func TestEmptyRun(t *testing.T) {
+	d := NewDriver(hop, 4)
+	for i := 0; i < 3; i++ {
+		d.AddShard()
+	}
+	if end := d.Run(); end != 0 {
+		t.Fatalf("empty run ended at %d", end)
+	}
+}
+
+// TestParallelStress hammers the pool under -race: many shards, many
+// rounds, counters verified against the closed-form total.
+func TestParallelStress(t *testing.T) {
+	const nShards, rounds = 16, 200
+	d := NewDriver(hop, 8)
+	shards := make([]*Shard, nShards)
+	for i := range shards {
+		shards[i] = d.AddShard()
+	}
+	var fired atomic.Int64
+	// nShards tokens circulate a ring; every hop fires one event on the
+	// shard holding the token.
+	var relay func(at *Shard, r int) func()
+	relay = func(at *Shard, r int) func() {
+		return func() {
+			fired.Add(1)
+			if r < rounds {
+				next := shards[(at.id+1)%nShards]
+				at.SendAfter(next, hop, relay(next, r+1))
+			}
+		}
+	}
+	for _, s := range shards {
+		s.Engine().At(0, relay(s, 0))
+	}
+	d.Run()
+	want := int64(nShards * (rounds + 1))
+	if got := fired.Load(); got != want {
+		t.Fatalf("fired %d events, want %d", got, want)
+	}
+}

@@ -44,7 +44,8 @@ func clusterExp() *Result {
 	for _, gapMs := range []float64{20, 5, 1} {
 		for _, name := range cluster.PolicyNames() {
 			p, _ := cluster.PolicyByName(name)
-			d := cluster.NewDispatcher(p, cluster.Admission{MaxRetries: 4}, clusterFleet()...)
+			d := cluster.NewShardedDispatcher(p, cluster.Admission{MaxRetries: 4},
+				cluster.ShardConfig{Workers: simWorkers}, clusterFleet()...)
 			rng := rand.New(rand.NewSource(seed))
 			gap := event.Time(gapMs * float64(event.Millisecond))
 			for i, at := range cluster.PoissonArrivals(rng, nBatches, gap) {

@@ -68,7 +68,8 @@ func faultsExp() *Result {
 		p99[sc.name] = map[string]float64{}
 		for _, name := range cluster.PolicyNames() {
 			p, _ := cluster.PolicyByName(name)
-			d := cluster.NewDispatcher(p, cluster.Admission{MaxRetries: 4}, clusterFleet()...)
+			d := cluster.NewShardedDispatcher(p, cluster.Admission{MaxRetries: 4},
+				cluster.ShardConfig{Workers: simWorkers}, clusterFleet()...)
 			if err := d.EnableFaults(cluster.FaultConfig{
 				Plan:     sc.plan,
 				Deadline: 200 * event.Millisecond,

@@ -1,0 +1,22 @@
+package experiments
+
+// simWorkers is how many event-engine shards the fleet experiments
+// (cluster, faults) advance concurrently through the conservative
+// parallel driver (event/parsim). The default of 1 is the serial
+// fallback: the same windowed mailbox semantics executed on one
+// goroutine. Artefacts are byte-identical at every value — the parsim
+// determinism contract — so this knob trades nothing but wall clock.
+var simWorkers = 1
+
+// SetSimWorkers sets the shard worker count for subsequent experiment
+// runs (cmd/mlimp-bench -sim-j, mlimp-serve -j). Call before running
+// experiments; values below 1 clamp to 1.
+func SetSimWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	simWorkers = n
+}
+
+// SimWorkers returns the current shard worker count.
+func SimWorkers() int { return simWorkers }

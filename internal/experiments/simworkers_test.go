@@ -1,0 +1,38 @@
+package experiments
+
+import "testing"
+
+// TestFleetExperimentsSerialParallelIdentical is the ISSUE 5 acceptance
+// test: the cluster and faults experiments — the two that drive the
+// conservative-parallel fleet simulation — must produce byte-identical
+// artefacts at 1 and 4 shard workers. Run with -race this doubles as
+// the data-race check on the window workers.
+func TestFleetExperimentsSerialParallelIdentical(t *testing.T) {
+	defer SetSimWorkers(SimWorkers())
+	for _, id := range []string{"cluster", "faults"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		SetSimWorkers(1)
+		serial := e.Run().Text
+		SetSimWorkers(4)
+		parallel := e.Run().Text
+		if serial != parallel {
+			t.Errorf("%s: parallel artefact diverges from serial:\n--- j=1\n%s\n--- j=4\n%s",
+				id, serial, parallel)
+		}
+	}
+}
+
+func TestSetSimWorkersClamps(t *testing.T) {
+	defer SetSimWorkers(1)
+	SetSimWorkers(-3)
+	if got := SimWorkers(); got != 1 {
+		t.Errorf("SimWorkers after SetSimWorkers(-3) = %d, want 1", got)
+	}
+	SetSimWorkers(6)
+	if got := SimWorkers(); got != 6 {
+		t.Errorf("SimWorkers = %d, want 6", got)
+	}
+}

@@ -49,6 +49,18 @@ func DDR4_2400() Config {
 	}
 }
 
+// RoundTrip returns the worst-case latency of a single line access —
+// the row-conflict path, precharge + activate + CAS + burst. This is
+// the fastest any cross-layer interaction through main memory can
+// complete, so it bounds from below the lookahead an intra-node
+// device-level sharding of the simulation (event/parsim) may use. The
+// cluster fabric's network hop (cluster.DefaultHop) sits three orders
+// of magnitude above it, so the fleet-level lookahead is safely
+// conservative for any shard granularity down to single devices.
+func (c Config) RoundTrip() event.Time {
+	return c.TRP + c.TRCD + c.TCAS + c.Burst
+}
+
 // PeakBandwidthGBs returns the aggregate pin bandwidth in GB/s.
 func (c Config) PeakBandwidthGBs() float64 {
 	perChannel := float64(c.LineBytes) / c.Burst.Seconds() // B/s

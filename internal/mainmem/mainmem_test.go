@@ -143,3 +143,35 @@ func TestAccessCausalityProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestRoundTripIsWorstCaseAccess: RoundTrip must equal the row-conflict
+// access path (the slowest single-line latency the controller can
+// charge) and bound every path Access actually takes — the property the
+// parsim lookahead derivation rests on.
+func TestRoundTripIsWorstCaseAccess(t *testing.T) {
+	cfg := DDR4_2400()
+	if got, want := cfg.RoundTrip(), cfg.TRP+cfg.TRCD+cfg.TCAS+cfg.Burst; got != want {
+		t.Fatalf("RoundTrip = %v, want %v", got, want)
+	}
+	// ~43ns for DDR4-2400: sanity-band the magnitude so a unit slip
+	// (ps vs ns) cannot hide.
+	if rt := cfg.RoundTrip(); rt < 30*event.Nanosecond || rt > 60*event.Nanosecond {
+		t.Errorf("DDR4-2400 round trip %v outside the 30-60ns sanity band", rt)
+	}
+	// Every access path (hit, miss, conflict) fits inside RoundTrip.
+	// Issuing each access at the previous completion keeps the banks
+	// free, so the measured span is pure access latency, not queueing.
+	c := NewController(cfg)
+	var at, worst event.Time
+	for i := 0; i < 64; i++ {
+		addr := int64(i%3) * cfg.RowBytes * int64(cfg.Channels) // forces row churn
+		done := c.Access(at, addr)
+		if lat := done - at; lat > worst {
+			worst = lat
+		}
+		at = done
+	}
+	if worst > cfg.RoundTrip() {
+		t.Errorf("observed access latency %v exceeds RoundTrip %v", worst, cfg.RoundTrip())
+	}
+}

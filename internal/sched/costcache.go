@@ -37,11 +37,27 @@ type kneeKey struct {
 	capacity int
 }
 
+// MaxProfMemoEntries and MaxKneeMemoEntries bound the memo maps. The
+// entries are pure-function results, so eviction can never produce a
+// wrong answer — the only cost is a recomputation — but without a bound
+// a long sweep over many job shapes and fault-mutated capacities grows
+// the maps without limit. When a map reaches its bound it is
+// generation-cleared (dropped wholesale): the working set at any
+// instant is a few dozen shapes, so an LRU's per-hit bookkeeping would
+// cost more on the hot path than the rare full rebuild after a clear.
+const (
+	MaxProfMemoEntries = 4096
+	MaxKneeMemoEntries = 1024
+)
+
 // CacheStats reports the System's cost-model memoization counters, a
 // visibility hook for tests and perf investigations.
 type CacheStats struct {
 	ModelHits, ModelMisses int64
 	KneeHits, KneeMisses   int64
+	// Clears counts generation-clears: bound overflows plus
+	// Degrade/Restore invalidation sweeps.
+	Clears int64
 }
 
 // CacheStats returns the memo hit/miss counters accumulated so far.
@@ -59,6 +75,9 @@ func (s *System) memoProfileTime(p Profile, t isa.Target, arrays int) event.Time
 	v := s.computeProfileTime(p, t, arrays)
 	if s.profMemo == nil {
 		s.profMemo = make(map[profKey]event.Time, 256)
+	} else if len(s.profMemo) >= MaxProfMemoEntries {
+		clear(s.profMemo)
+		s.cacheStats.Clears++
 	}
 	s.profMemo[k] = v
 	s.cacheStats.ModelMisses++
@@ -78,7 +97,23 @@ func (s *System) memoKneeAlloc(p Profile, t isa.Target, capacity int) (int, bool
 func (s *System) storeKneeAlloc(p Profile, t isa.Target, capacity, alloc int) {
 	if s.kneeMemo == nil {
 		s.kneeMemo = make(map[kneeKey]int, 64)
+	} else if len(s.kneeMemo) >= MaxKneeMemoEntries {
+		clear(s.kneeMemo)
+		s.cacheStats.Clears++
 	}
 	s.kneeMemo[kneeKey{p: p, t: t, capacity: capacity}] = alloc
 	s.cacheStats.KneeMisses++
+}
+
+// clearKneeMemo generation-clears the knee memo after a capacity
+// change: entries keyed by capacities the layer has left behind can
+// only be hit again if that exact capacity returns, so Degrade/Restore
+// drops them wholesale rather than letting a churning fault plan strand
+// one map generation per capacity value.
+func (s *System) clearKneeMemo() {
+	if len(s.kneeMemo) == 0 {
+		return
+	}
+	clear(s.kneeMemo)
+	s.cacheStats.Clears++
 }

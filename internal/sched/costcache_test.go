@@ -66,6 +66,78 @@ func TestKneeAllocMemo(t *testing.T) {
 	}
 }
 
+// TestProfMemoBounded floods the model memo with distinct profiles and
+// asserts the generation-clear keeps it at or under its bound — the
+// leak guard for long sweeps over many job shapes.
+func TestProfMemoBounded(t *testing.T) {
+	sys := NewSystem(isa.Targets...)
+	j := cacheTestJob()
+	for i := 0; i < 3*MaxProfMemoEntries; i++ {
+		p := j.Est[isa.SRAM]
+		p.UnitCycles = int64(1000 + i) // a fresh shape every query
+		sys.memoProfileTime(p, isa.SRAM, 1+i%8)
+	}
+	if n := len(sys.profMemo); n > MaxProfMemoEntries {
+		t.Errorf("profMemo grew to %d entries, bound is %d", n, MaxProfMemoEntries)
+	}
+	st := sys.CacheStats()
+	if st.Clears == 0 {
+		t.Error("3x overflow produced no generation clears")
+	}
+	// Clearing must stay transparent: a post-clear query still matches
+	// the from-scratch model.
+	p := j.Est[isa.SRAM]
+	if got, want := sys.memoProfileTime(p, isa.SRAM, 4), sys.computeProfileTime(p, isa.SRAM, 4); got != want {
+		t.Errorf("post-clear memo %v != fresh %v", got, want)
+	}
+}
+
+// TestKneeMemoBounded floods the knee memo past its bound.
+func TestKneeMemoBounded(t *testing.T) {
+	sys := NewSystem(isa.Targets...)
+	j := cacheTestJob()
+	p := j.Est[isa.SRAM]
+	for i := 0; i < 2*MaxKneeMemoEntries; i++ {
+		p.UnitCycles = int64(1000 + i)
+		sys.storeKneeAlloc(p, isa.SRAM, 64, 8)
+	}
+	if n := len(sys.kneeMemo); n > MaxKneeMemoEntries {
+		t.Errorf("kneeMemo grew to %d entries, bound is %d", n, MaxKneeMemoEntries)
+	}
+	if st := sys.CacheStats(); st.Clears == 0 {
+		t.Error("2x overflow produced no generation clears")
+	}
+}
+
+// TestDegradeClearsKneeMemo: capacity changes generation-clear the knee
+// memo, so a churning fault plan cannot strand one memo generation per
+// capacity value it visits.
+func TestDegradeClearsKneeMemo(t *testing.T) {
+	sys := NewSystem(isa.Targets...)
+	j := cacheTestJob()
+	sys.KneeAlloc(j, isa.SRAM)
+	if len(sys.kneeMemo) == 0 {
+		t.Fatal("knee search left no memo entry")
+	}
+	base := sys.CacheStats().Clears
+	if sys.Degrade(isa.SRAM, 4) == 0 {
+		t.Fatal("degrade removed nothing")
+	}
+	if len(sys.kneeMemo) != 0 {
+		t.Errorf("degrade left %d knee entries", len(sys.kneeMemo))
+	}
+	if sys.CacheStats().Clears != base+1 {
+		t.Errorf("degrade clears = %d, want %d", sys.CacheStats().Clears, base+1)
+	}
+	sys.KneeAlloc(j, isa.SRAM)
+	if sys.Restore(isa.SRAM, 4) == 0 {
+		t.Fatal("restore returned nothing")
+	}
+	if len(sys.kneeMemo) != 0 {
+		t.Errorf("restore left %d knee entries", len(sys.kneeMemo))
+	}
+}
+
 // BenchmarkModelTime measures the memoized hot path against the
 // from-scratch model evaluation it replaces.
 func BenchmarkModelTime(b *testing.B) {

@@ -5,10 +5,11 @@ import "mlimp/internal/isa"
 // Capacity degradation. When arrays fail in the field (internal/fault),
 // the scheduler must re-plan against the shrunk layer rather than keep
 // issuing knee-sized allocations the device can no longer grant.
-// Because KneeAlloc is memoized per (profile, target, capacity), a
-// Degrade/Restore call invalidates nothing explicitly: the next lookup
-// simply misses under the new capacity key and re-runs the knee search
-// on the degraded curve.
+// Because KneeAlloc is memoized per (profile, target, capacity), the
+// next lookup after a Degrade/Restore misses under the new capacity key
+// and re-runs the knee search on the degraded curve; the entries keyed
+// by the abandoned capacity are generation-cleared so the memo stays
+// bounded across long fault-churning sweeps (see costcache.go).
 
 // Degrade removes n arrays from layer t, flooring the layer at one
 // array so jobs that only run there remain schedulable (slowly) rather
@@ -32,6 +33,9 @@ func (s *System) Degrade(t isa.Target, n int) int {
 	removed := l.Capacity - newCap
 	l.Capacity = newCap
 	s.lostArrays[t] += removed
+	if removed > 0 {
+		s.clearKneeMemo()
+	}
 	return removed
 }
 
@@ -48,6 +52,7 @@ func (s *System) Restore(t isa.Target, n int) int {
 	}
 	l.Capacity += n
 	s.lostArrays[t] -= n
+	s.clearKneeMemo()
 	return n
 }
 
