@@ -20,6 +20,8 @@ import (
 	"mlimp/internal/experiments"
 	"mlimp/internal/isa"
 	"mlimp/internal/runtime"
+	"mlimp/internal/sched"
+	"mlimp/internal/serve"
 	"mlimp/internal/workload"
 )
 
@@ -66,9 +68,46 @@ func BenchmarkAblation_Replication(b *testing.B)            { run(b, "abl-replic
 func BenchmarkAblation_InterQueueEpsilon(b *testing.B)      { run(b, "abl-epsilon") }
 func BenchmarkAblation_Compiler(b *testing.B)               { run(b, "abl-compiler") }
 func BenchmarkExtension_Serving(b *testing.B)               { run(b, "serving") }
+func BenchmarkExtension_ServingNode(b *testing.B)           { run(b, "serving-node") }
 func BenchmarkExtension_Quantization(b *testing.B)          { run(b, "quant") }
 func BenchmarkExtension_Cluster(b *testing.B)               { run(b, "cluster") }
 func BenchmarkExtension_Faults(b *testing.B)                { run(b, "faults") }
+
+// BenchmarkServeFrontend drives the open-loop request front end — the
+// arrival/batch-former/admission hot path of internal/serve — over a
+// fixed app-request trace on the heterogeneous fleet. The request trace
+// is built once and is read-only to the front end, so iterations
+// measure the serving path, not workload generation.
+func BenchmarkServeFrontend(b *testing.B) {
+	sys := sched.NewSystem(isa.Targets...)
+	src := serve.NewAppSource(sys)
+	rng := rand.New(rand.NewSource(17))
+	arr := serve.Trace(rng, serve.Poisson{MeanGap: 100 * event.Microsecond},
+		0, 20*event.Millisecond)
+	reqs := src.Requests(rng, arr, 10*event.Millisecond)
+	cfgs := []cluster.NodeConfig{
+		{Name: "full", Targets: isa.Targets},
+		{Name: "sram-dram", Targets: []isa.Target{isa.SRAM, isa.DRAM}},
+		{Name: "dram-reram", Targets: []isa.Target{isa.DRAM, isa.ReRAM}},
+		{Name: "reram", Targets: []isa.Target{isa.ReRAM}},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := cluster.NewShardedDispatcher(cluster.NewPredictedCost(), cluster.Admission{MaxRetries: 1},
+			cluster.ShardConfig{Workers: 1}, cfgs...)
+		fe, err := serve.New(d, serve.Config{
+			Requests: reqs, Budget: 200 * event.Microsecond, BatchMax: 4,
+			PredictorAdmission: true, BuildJob: src.BuildJob, Seed: 17,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s := fe.Run(); s.Accounted() != s.Requests {
+			b.Fatalf("accounted %d of %d requests", s.Accounted(), s.Requests)
+		}
+	}
+}
 
 // fleetBatches builds the wave-synchronous workload for the shard-sweep
 // bench: waves of one heavy batch per node arriving at the same

@@ -43,6 +43,15 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
 
+	if *jobs < 1 {
+		fmt.Fprintf(os.Stderr, "mlimp-bench: -j must be >= 1 (got %d)\n", *jobs)
+		os.Exit(2)
+	}
+	if *simJobs < 1 {
+		fmt.Fprintf(os.Stderr, "mlimp-bench: -sim-j must be >= 1 (got %d)\n", *simJobs)
+		os.Exit(2)
+	}
+
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-12s %s\n", e.ID, e.Title)

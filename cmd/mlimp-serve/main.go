@@ -17,6 +17,19 @@
 // is identical for every -j >= 1 — the worker count only changes how
 // many shards advance concurrently. -j 0 (the default) keeps the
 // legacy single-engine dispatcher.
+//
+// Open-loop request serving (-open, requires -j >= 1) replaces the
+// batch stream with the request-level front end of internal/serve:
+// individual requests arrive under a configurable arrival process
+// (-arrival poisson|mmpp|diurnal, -req-gap-us), carry per-request SLO
+// deadlines (-slo-ms), and are coalesced by the continuous batch-former
+// (-budget-us, -batch-max). With -admission predictor the dispatcher
+// runs the cost predictor online and sheds requests predicted to miss
+// their deadline; -admission blind sheds only at the dispatcher's
+// admission bound.
+//
+//	mlimp-serve -open -j 2 -arrival mmpp -req-gap-us 50 -slo-ms 2
+//	mlimp-serve -open -j 2 -source gnn -admission predictor
 package main
 
 import (
@@ -30,8 +43,13 @@ import (
 	"mlimp/internal/cluster"
 	"mlimp/internal/event"
 	"mlimp/internal/fault"
+	"mlimp/internal/graph"
 	"mlimp/internal/isa"
+	"mlimp/internal/predict"
 	"mlimp/internal/runtime"
+	"mlimp/internal/sched"
+	"mlimp/internal/serve"
+	"mlimp/internal/tensor"
 	"mlimp/internal/workload"
 )
 
@@ -107,7 +125,86 @@ func main() {
 	heartbeatMs := flag.Float64("heartbeat-ms", 0, "node heartbeat period; 0 means the default")
 	jobs := flag.Int("j", 0,
 		"engine workers for the sharded per-node fabric; 0 uses the legacy single-engine dispatcher")
+	openLoop := flag.Bool("open", false,
+		"run the open-loop request front end (continuous batching + SLO admission); requires -j >= 1")
+	source := flag.String("source", "app", "open-loop request source: app | gnn")
+	arrival := flag.String("arrival", "poisson", "open-loop arrival process: poisson | mmpp | diurnal")
+	reqGapUs := flag.Float64("req-gap-us", 100, "open-loop mean request inter-arrival gap (us)")
+	horizonMs := flag.Float64("horizon-ms", 20, "open-loop arrival horizon (ms)")
+	sloMs := flag.Float64("slo-ms", 5, "open-loop per-request SLO (ms from arrival)")
+	budgetUs := flag.Float64("budget-us", 200, "open-loop batch-former latency budget (us)")
+	batchMax := flag.Int("batch-max", 8, "open-loop batch-former size cap")
+	admission := flag.String("admission", "predictor", "open-loop admission: predictor | blind")
+	retrainEvery := flag.Int("retrain-every", 8,
+		"open-loop predictor refit period in completed batches (0: refit only on drift)")
 	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "mlimp-serve: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if *jobs < 0 {
+		fail("-j must be >= 0 (got %d)", *jobs)
+	}
+	if *openLoop && *jobs < 1 {
+		fail("-open needs the sharded fabric: pass -j >= 1 (got %d)", *jobs)
+	}
+	if *batches <= 0 {
+		fail("-batches must be positive (got %d)", *batches)
+	}
+	if *batchSize <= 0 {
+		fail("-batch-size must be positive (got %d)", *batchSize)
+	}
+	if *meanGapMs <= 0 {
+		fail("-mean-gap-ms must be positive (got %g)", *meanGapMs)
+	}
+	if *queueCap < 0 {
+		fail("-queue-cap must be >= 0 (got %d)", *queueCap)
+	}
+	if *retries < 0 {
+		fail("-retries must be >= 0 (got %d)", *retries)
+	}
+	if *backoffMs < 0 {
+		fail("-backoff-ms must be >= 0 (got %g)", *backoffMs)
+	}
+	if *arrayFaultRate < 0 || *crashRate < 0 {
+		fail("fault rates must be >= 0 (array-fault-rate=%g crash-rate=%g)",
+			*arrayFaultRate, *crashRate)
+	}
+	if *execErrorProb < 0 || *execErrorProb > 1 {
+		fail("-exec-error-prob must be in [0,1] (got %g)", *execErrorProb)
+	}
+	if *meanOutageMs < 0 || *deadlineMs < 0 {
+		fail("outage and deadline must be >= 0 (mean-outage-ms=%g deadline-ms=%g)",
+			*meanOutageMs, *deadlineMs)
+	}
+	if *reqGapUs <= 0 {
+		fail("-req-gap-us must be positive (got %g)", *reqGapUs)
+	}
+	if *horizonMs <= 0 {
+		fail("-horizon-ms must be positive (got %g)", *horizonMs)
+	}
+	if *sloMs <= 0 {
+		fail("-slo-ms must be positive (got %g)", *sloMs)
+	}
+	if *budgetUs <= 0 {
+		fail("-budget-us must be positive (got %g)", *budgetUs)
+	}
+	if *batchMax <= 0 {
+		fail("-batch-max must be positive (got %d)", *batchMax)
+	}
+	if *retrainEvery < 0 {
+		fail("-retrain-every must be >= 0 (got %d)", *retrainEvery)
+	}
+	if *admission != "predictor" && *admission != "blind" {
+		fail("unknown -admission %q (predictor | blind)", *admission)
+	}
+	if *source != "app" && *source != "gnn" {
+		fail("unknown -source %q (app | gnn)", *source)
+	}
+	if _, err := buildArrival(*arrival, 1, 2); err != nil {
+		fail("%v", err)
+	}
 
 	cfgs, err := parseFleet(*nodes)
 	if err != nil {
@@ -155,6 +252,38 @@ func main() {
 	}
 	faulty := plan != nil || *deadlineMs > 0
 
+	if *openLoop {
+		fmt.Printf("fleet: %d nodes (%s), open-loop %s arrivals (mean gap %.0fus over %.1fms), "+
+			"slo %.2fms, budget %.0fus, batch-max %d, admission %s, source %s, seed %d\n\n",
+			len(cfgs), *nodes, *arrival, *reqGapUs, *horizonMs, *sloMs, *budgetUs,
+			*batchMax, *admission, *source, *seed)
+		if plan != nil {
+			fmt.Println(plan)
+		}
+		var fc *cluster.FaultConfig
+		if faulty {
+			fc = &cluster.FaultConfig{
+				Plan:            plan,
+				Deadline:        event.Time(*deadlineMs * float64(event.Millisecond)),
+				MaxRedispatch:   *redispatch,
+				BreakerK:        *breakerK,
+				BreakerCooldown: event.Time(*breakerCooldownMs * float64(event.Millisecond)),
+				Heartbeat:       event.Time(*heartbeatMs * float64(event.Millisecond)),
+			}
+		}
+		runOpenLoop(policies, adm, cfgs, *jobs, openParams{
+			source: *source, arrival: *arrival,
+			predictorAdmission: *admission == "predictor",
+			reqGap:             event.Time(*reqGapUs * float64(event.Microsecond)),
+			horizon:            event.Time(*horizonMs * float64(event.Millisecond)),
+			slo:                event.Time(*sloMs * float64(event.Millisecond)),
+			budget:             event.Time(*budgetUs * float64(event.Microsecond)),
+			batchMax:           *batchMax, retrainEvery: *retrainEvery,
+			seed: *seed, faultCfg: fc,
+		})
+		return
+	}
+
 	fmt.Printf("fleet: %d nodes (%s), %d batches x %d jobs, mean gap %.2fms, seed %d\n\n",
 		len(cfgs), *nodes, *batches, *batchSize, *meanGapMs, *seed)
 	if plan != nil {
@@ -200,5 +329,118 @@ func main() {
 			}
 		}
 		fmt.Println(d.Run())
+	}
+}
+
+// buildArrival maps an -arrival flag value to a process. The mmpp and
+// diurnal shapes are fixed relative to the mean gap and horizon: mmpp
+// alternates a calm state with an 8x burst, diurnal rides one sine
+// period across the horizon with a 4x flash crowd in the middle.
+func buildArrival(kind string, gap, horizon event.Time) (serve.ArrivalProcess, error) {
+	switch kind {
+	case "poisson":
+		return serve.Poisson{MeanGap: gap}, nil
+	case "mmpp":
+		return &serve.MMPP{States: []serve.MMPPState{
+			{MeanGap: gap, MeanDwell: 30 * gap},
+			{MeanGap: gap / 8, MeanDwell: 10 * gap},
+		}}, nil
+	case "diurnal":
+		return serve.Diurnal{
+			Base: serve.Poisson{MeanGap: gap}, Period: horizon, Amplitude: 0.6,
+			FlashAt: horizon / 2, FlashDur: horizon / 10, FlashBoost: 4,
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown -arrival %q (poisson | mmpp | diurnal)", kind)
+}
+
+// serveDataset is the GNN request stand-in for -source gnn: a small
+// scale-free graph whose 2-hop subgraphs make substantial SpMM jobs.
+var serveDataset = graph.Dataset{Name: "serve", Vertices: 1200,
+	InputFeat: 64, HiddenFeat: 64, ScaleDiv: 1, Attachment: 8}
+
+// trainServePredictor fits the request cost predictor once; each policy
+// run clones it so online retraining starts from identical weights.
+func trainServePredictor(seed int64) *predict.MLP {
+	rng := rand.New(rand.NewSource(seed + 1))
+	g := serveDataset.Generate(rng)
+	s := graph.NewSampler(rng, g, 2, 0)
+	var training []*tensor.CSR
+	for i := 0; i < 32; i++ {
+		training = append(training, s.Sample(rng.Intn(g.N)).Adj)
+	}
+	return predict.Train(rng, training, serveDataset.InputFeat,
+		predict.TrainConfig{Epochs: 150, LR: 2e-3})
+}
+
+// openParams bundles the open-loop front-end settings.
+type openParams struct {
+	source, arrival        string
+	predictorAdmission     bool
+	reqGap, horizon, slo   event.Time
+	budget                 event.Time
+	batchMax, retrainEvery int
+	seed                   int64
+	faultCfg               *cluster.FaultConfig
+}
+
+// runOpenLoop drives the request-level front end once per policy on the
+// sharded fabric, with the request trace held fixed across policies.
+func runOpenLoop(policies []string, adm cluster.Admission, cfgs []cluster.NodeConfig,
+	workers int, p openParams) {
+	die := func(err error) {
+		fmt.Fprintf(os.Stderr, "mlimp-serve: %v\n", err)
+		os.Exit(1)
+	}
+	sys := sched.NewSystem(isa.Targets...)
+	var basePred *predict.MLP
+	if p.source == "gnn" {
+		basePred = trainServePredictor(p.seed)
+	}
+	for _, name := range policies {
+		pol, _ := cluster.PolicyByName(name)
+		d := cluster.NewShardedDispatcher(pol, adm,
+			cluster.ShardConfig{Workers: workers}, cfgs...)
+		if p.faultCfg != nil {
+			if err := d.EnableFaults(*p.faultCfg); err != nil {
+				die(err)
+			}
+		}
+		rng := rand.New(rand.NewSource(p.seed))
+		proc, err := buildArrival(p.arrival, p.reqGap, p.horizon)
+		if err != nil {
+			die(err)
+		}
+		arr := serve.Trace(rng, proc, 0, p.horizon)
+		if len(arr) == 0 {
+			die(fmt.Errorf("no arrivals: raise -horizon-ms or lower -req-gap-us"))
+		}
+		var (
+			reqs   []*serve.Request
+			build  func(*serve.Request) *sched.Job
+			pred   *predict.MLP
+			mirror *sched.System
+		)
+		if p.source == "gnn" {
+			pred = basePred.Clone()
+			src := serve.NewGNNSource(rng, serveDataset, serveDataset.InputFeat, pred, sys)
+			reqs = src.Requests(rng, arr, p.slo)
+			build = src.BuildJob
+			mirror = sys
+		} else {
+			src := serve.NewAppSource(sys)
+			reqs = src.Requests(rng, arr, p.slo)
+			build = src.BuildJob
+		}
+		fe, err := serve.New(d, serve.Config{
+			Requests: reqs, Budget: p.budget, BatchMax: p.batchMax,
+			PredictorAdmission: p.predictorAdmission, BuildJob: build,
+			Predictor: pred, Mirror: mirror,
+			RetrainEvery: p.retrainEvery, Seed: p.seed,
+		})
+		if err != nil {
+			die(err)
+		}
+		fmt.Printf("policy %s:\n%s\n\n", name, fe.Run())
 	}
 }

@@ -62,6 +62,42 @@ func retryDelay(base event.Time, attempt int) event.Time {
 	return base << attempt
 }
 
+// Outcome is the terminal state of one batch.
+type Outcome int
+
+const (
+	// OutcomeCompleted batches finished on a node.
+	OutcomeCompleted Outcome = iota
+	// OutcomeShed batches were refused at admission (fleet saturated).
+	OutcomeShed
+	// OutcomeDeadLettered batches exhausted their failure budget.
+	OutcomeDeadLettered
+)
+
+// String renders the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeCompleted:
+		return "completed"
+	case OutcomeShed:
+		return "shed"
+	}
+	return "dead-lettered"
+}
+
+// DoneInfo describes one batch reaching its terminal state, delivered
+// to the dispatcher's OnDone hook on the hub at the instant the
+// dispatcher settles the batch. For completed batches Result carries
+// the node-side execution record (including per-job assignments when
+// the fabric records them) and Node names the node that ran it.
+type DoneInfo struct {
+	Batch   *runtime.Batch
+	Outcome Outcome
+	At      event.Time // hub time of the terminal decision
+	Node    string     // completing node; "" unless completed
+	Result  runtime.BatchResult
+}
+
 // tracker follows one submitted batch to exactly one terminal state:
 // completed, shed, or dead-lettered. The generation counter invalidates
 // deadline timers armed for superseded bookings.

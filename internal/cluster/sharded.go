@@ -6,6 +6,7 @@ import (
 	"mlimp/internal/event"
 	"mlimp/internal/event/parsim"
 	"mlimp/internal/runtime"
+	"mlimp/internal/sched"
 )
 
 // Conservative-parallel fleet serving. ShardedDispatcher is the
@@ -57,6 +58,7 @@ type ShardedDispatcher struct {
 	trk         map[int]*tracker
 	pending     int
 	lastArrival event.Time
+	onDone      func(DoneInfo)
 
 	submitted    int
 	completed    int
@@ -173,7 +175,10 @@ func (d *ShardedDispatcher) wireNode(idx int, sn *shardNode) {
 		delete(sn.tokens, res.ID)
 		delete(sn.attempts, res.ID)
 		failed := err != nil
-		sn.shard.SendAfter(d.hub, d.hop, func() { d.onCompleted(idx, res.ID, failed, token) })
+		// The echo carries the full execution record: the hub's OnDone
+		// observers (the serving front end) read per-job spans from it.
+		// The node shard never touches res again, so the hub may.
+		sn.shard.SendAfter(d.hub, d.hop, func() { d.onCompleted(idx, res, failed, token) })
 	}
 }
 
@@ -221,6 +226,80 @@ func (d *ShardedDispatcher) Submit(b *runtime.Batch) error {
 	return nil
 }
 
+// HubEngine returns the hub shard's engine. Front ends seed arrival
+// events here before Run; during Run only events already executing on
+// the hub may touch it.
+func (d *ShardedDispatcher) HubEngine() *event.Engine { return d.hub.Engine() }
+
+// RecordAssignments makes every node retain per-job schedule
+// assignments on its batch results, so completion echoes carry the
+// observed per-job spans the serving front end inverts for online
+// retraining. Call before Run.
+func (d *ShardedDispatcher) RecordAssignments() {
+	for _, sn := range d.sns {
+		sn.node.rt.KeepAssignments = true
+	}
+}
+
+// Inject admits a batch at the current hub time — the entry point for
+// hub-resident front ends (internal/serve) that form batches online
+// during the run. It must be called from an event executing on the hub
+// shard (or before Run). Same validation contract as Submit; b.Arrival
+// should already be set for latency accounting.
+func (d *ShardedDispatcher) Inject(b *runtime.Batch) error {
+	if b == nil {
+		return runtime.ErrNilBatch
+	}
+	if len(b.Jobs) == 0 {
+		return fmt.Errorf("%w (batch %d)", runtime.ErrEmptyBatch, b.ID)
+	}
+	if _, dup := d.trk[b.ID]; dup {
+		return fmt.Errorf("cluster: duplicate batch ID %d", b.ID)
+	}
+	tr := &tracker{b: b}
+	d.trk[b.ID] = tr
+	d.pending++
+	d.submitted++
+	if now := d.hub.Engine().Now(); now > d.lastArrival {
+		d.lastArrival = now
+	}
+	d.dispatch(b, 0, nil)
+	return nil
+}
+
+// ExtendHorizon promises the dispatcher that work may keep arriving
+// until at least t (hub time). The liveness and monitor loops re-arm
+// while the horizon is ahead, so an open-loop front end injecting
+// batches mid-run keeps failure detection alive even across idle gaps.
+func (d *ShardedDispatcher) ExtendHorizon(t event.Time) {
+	if t > d.lastArrival {
+		d.lastArrival = t
+	}
+}
+
+// PredictedCompletion estimates the earliest completion time of a batch
+// of jobs if injected right now: over the currently eligible views,
+// hub-now plus one dispatch hop plus the view's predicted drain plus
+// the idle-node cost estimate of the jobs. The second result is false
+// when no view is eligible (the batch would shed or retry). Meaningful
+// with estimate-booking policies; estimate-blind policies see drains of
+// zero. Must run on the hub (inside an event during Run, or before Run).
+func (d *ShardedDispatcher) PredictedCompletion(jobs []*sched.Job) (event.Time, bool) {
+	now := d.hub.Engine().Now()
+	probe := &runtime.Batch{ID: -1, Arrival: now, Jobs: jobs}
+	best, found := event.Time(0), false
+	for _, v := range d.views {
+		if !d.eligible(v, probe) {
+			continue
+		}
+		at := now + d.hop + v.PredictedDrain(now) + v.EstimateCost(jobs)
+		if !found || at < best {
+			best, found = at, true
+		}
+	}
+	return best, found
+}
+
 // finish moves a batch to a terminal state exactly once.
 func (d *ShardedDispatcher) finish(tr *tracker) bool {
 	if tr.done {
@@ -230,6 +309,32 @@ func (d *ShardedDispatcher) finish(tr *tracker) bool {
 	d.pending--
 	return true
 }
+
+// settle finishes a batch into the given outcome, credits the counter,
+// and notifies the OnDone observer. Exactly one settle succeeds per
+// batch.
+func (d *ShardedDispatcher) settle(tr *tracker, o Outcome, node string, res runtime.BatchResult) bool {
+	if !d.finish(tr) {
+		return false
+	}
+	switch o {
+	case OutcomeCompleted:
+		d.completed++
+	case OutcomeShed:
+		d.shed++
+	default:
+		d.deadLettered++
+	}
+	if d.onDone != nil {
+		d.onDone(DoneInfo{Batch: tr.b, Outcome: o, At: d.hub.Engine().Now(), Node: node, Result: res})
+	}
+	return true
+}
+
+// OnDone registers the hub-side terminal-state observer. Set before Run;
+// the hook runs inside hub events, so it may legally call Inject,
+// PredictedCompletion, and the hub engine.
+func (d *ShardedDispatcher) OnDone(fn func(DoneInfo)) { d.onDone = fn }
 
 // eligible mirrors Dispatcher.eligible against a view.
 func (d *ShardedDispatcher) eligible(v *Node, b *runtime.Batch) bool {
@@ -274,9 +379,7 @@ func (d *ShardedDispatcher) dispatch(b *runtime.Batch, attempt int, avoid *Node)
 			d.hub.Engine().After(retryDelay(d.adm.backoff(), attempt), func() { d.dispatch(b, attempt+1, avoid) })
 			return
 		}
-		if d.finish(tr) {
-			d.shed++
-		}
+		d.settle(tr, OutcomeShed, "", runtime.BatchResult{})
 		return
 	}
 	v := d.policy.Pick(eligible, b, d.hub.Engine().Now())
@@ -354,7 +457,8 @@ func (d *ShardedDispatcher) onStarted(idx, id, token int, at event.Time) {
 // onCompleted settles a completion echo on the hub. A stale token means
 // the hub already abandoned that booking (deadline or eviction) — the
 // echo is dropped and whatever path superseded it owns the batch.
-func (d *ShardedDispatcher) onCompleted(idx, id int, failed bool, token int) {
+func (d *ShardedDispatcher) onCompleted(idx int, res runtime.BatchResult, failed bool, token int) {
+	id := res.ID
 	tr := d.trk[id]
 	if tr == nil || tr.done || tr.gen != token {
 		return
@@ -366,17 +470,13 @@ func (d *ShardedDispatcher) onCompleted(idx, id int, failed bool, token int) {
 		if d.faults != nil {
 			v.breaker.OnSuccess()
 		}
-		if d.finish(tr) {
-			d.completed++
-		}
+		d.settle(tr, OutcomeCompleted, v.Name, res)
 		return
 	}
 	d.execErrors++
 	v.failures++
 	if d.faults == nil {
-		if d.finish(tr) {
-			d.deadLettered++
-		}
+		d.settle(tr, OutcomeDeadLettered, "", runtime.BatchResult{})
 		return
 	}
 	v.breaker.OnFailure(d.hub.Engine().Now())
@@ -408,9 +508,7 @@ func (d *ShardedDispatcher) onDeadline(tr *tracker, gen int) {
 // budget rules as the single-engine dispatcher.
 func (d *ShardedDispatcher) redispatch(tr *tracker, avoid *Node) {
 	if tr.redispatches >= d.faults.maxRedispatch() {
-		if d.finish(tr) {
-			d.deadLettered++
-		}
+		d.settle(tr, OutcomeDeadLettered, "", runtime.BatchResult{})
 		return
 	}
 	tr.redispatches++

@@ -29,7 +29,7 @@ package parsim
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"mlimp/internal/event"
@@ -101,6 +101,12 @@ type Driver struct {
 	deadline event.Time
 	work     chan *Shard
 	wg       sync.WaitGroup
+
+	// mergeBuf is the barrier's reusable merge scratch: deliver gathers
+	// every destination's incoming messages here, sorts, inserts, and
+	// hands the capacity back for the next barrier. Only the driver
+	// goroutine touches it.
+	mergeBuf []message
 }
 
 // NewDriver returns a driver that advances shards in windows of the
@@ -270,7 +276,7 @@ func (d *Driver) startPool() {
 // source-shard order on every run regardless of worker count.
 func (d *Driver) deliver() {
 	for dstID, dst := range d.shards {
-		var batch []message
+		batch := d.mergeBuf[:0]
 		for _, src := range d.shards {
 			if pending := src.out[dstID]; len(pending) > 0 {
 				batch = append(batch, pending...)
@@ -281,19 +287,29 @@ func (d *Driver) deliver() {
 		if len(batch) == 0 {
 			continue
 		}
-		sort.Slice(batch, func(i, j int) bool {
-			a, b := batch[i], batch[j]
+		slices.SortFunc(batch, func(a, b message) int {
 			if a.at != b.at {
-				return a.at < b.at
+				if a.at < b.at {
+					return -1
+				}
+				return 1
 			}
 			if a.src != b.src {
-				return a.src < b.src
+				return a.src - b.src
 			}
-			return a.seq < b.seq
+			switch {
+			case a.seq < b.seq:
+				return -1
+			case a.seq > b.seq:
+				return 1
+			}
+			return 0
 		})
 		dst.eng.Reserve(len(batch))
-		for _, m := range batch {
-			dst.eng.At(m.at, m.fn)
+		for i := range batch {
+			dst.eng.At(batch[i].at, batch[i].fn)
 		}
+		clear(batch) // drop the closure refs; keep the capacity
+		d.mergeBuf = batch[:0]
 	}
 }

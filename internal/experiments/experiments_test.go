@@ -14,7 +14,7 @@ func TestRegistryComplete(t *testing.T) {
 		"tab1", "tab2", "tab3",
 		"predacc", "scalefit", "stress",
 		"abl-reuse", "abl-knee", "abl-replica", "abl-epsilon",
-		"abl-compiler", "serving", "quant", "cluster", "faults",
+		"abl-compiler", "serving", "serving-node", "quant", "cluster", "faults",
 	}
 	have := map[string]bool{}
 	for _, e := range All() {

@@ -17,7 +17,7 @@ import (
 
 func init() {
 	register("abl-compiler", "Ablation: DFG optimisation + VLIW packing on the app kernels", ablCompiler)
-	register("serving", "Extension: online serving latency under batch arrivals", serving)
+	register("serving-node", "Extension: single-node online serving latency under batch arrivals", servingNode)
 	register("quant", "Extension: 16-bit quantisation effect on link prediction (Sec. IV)", quant)
 }
 
@@ -59,10 +59,12 @@ func ablCompiler() *Result {
 	return &Result{ID: "abl-compiler", Title: "compiler passes", Text: t.String()}
 }
 
-// serving runs the GNN kernel stream as an online arrival process: one
-// batch of queries every interval, comparing schedulers on p50/p99
-// serving latency — the operator's view of the Section III-A runtime.
-func serving() *Result {
+// servingNode runs the GNN kernel stream through one node as an online
+// arrival process: one batch of queries every interval, comparing
+// schedulers on p50/p99 serving latency — the operator's view of the
+// Section III-A runtime. The fleet-level open-loop front end is the
+// separate `serving` experiment.
+func servingNode() *Result {
 	w := buildWorkload("ogbl-collab", 300)
 	t := &table{header: []string{"scheduler", "interval(ms)", "p50(ms)", "p99(ms)", "mean-queue(ms)"}}
 	for _, sc := range []func() sched.Scheduler{
@@ -97,5 +99,5 @@ func serving() *Result {
 		}
 	}
 	text := t.String() + "tighter arrival intervals queue; balanced schedulers hold p99 latency lower than LJF\n"
-	return &Result{ID: "serving", Title: "online serving latency", Text: text}
+	return &Result{ID: "serving-node", Title: "single-node online serving latency", Text: text}
 }

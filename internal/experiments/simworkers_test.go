@@ -2,14 +2,15 @@ package experiments
 
 import "testing"
 
-// TestFleetExperimentsSerialParallelIdentical is the ISSUE 5 acceptance
-// test: the cluster and faults experiments — the two that drive the
-// conservative-parallel fleet simulation — must produce byte-identical
-// artefacts at 1 and 4 shard workers. Run with -race this doubles as
-// the data-race check on the window workers.
+// TestFleetExperimentsSerialParallelIdentical is the fleet determinism
+// acceptance test: the experiments that drive the conservative-parallel
+// fleet simulation — the cluster policy sweep, the fault sweep, and the
+// open-loop serving front end — must produce byte-identical artefacts
+// at 1 and 4 shard workers. Run with -race this doubles as the
+// data-race check on the window workers.
 func TestFleetExperimentsSerialParallelIdentical(t *testing.T) {
 	defer SetSimWorkers(SimWorkers())
-	for _, id := range []string{"cluster", "faults"} {
+	for _, id := range []string{"cluster", "faults", "serving"} {
 		e, ok := ByID(id)
 		if !ok {
 			t.Fatalf("experiment %q not registered", id)

@@ -162,6 +162,40 @@ func fitBeta(adj *tensor.CSR, f int, t isa.Target) float64 {
 	return beta
 }
 
+// FitBetas fits the scale-model exponent once per (target, feature
+// width) on a representative subgraph of a mother graph — the shared
+// prelude of SpMMJobs, exported for serving front ends that build jobs
+// one request at a time.
+func FitBetas(sample *tensor.CSR, widths []int, sys *sched.System) map[isa.Target]map[int]float64 {
+	betas := map[isa.Target]map[int]float64{}
+	for _, t := range sys.Targets() {
+		betas[t] = map[int]float64{}
+		for _, f := range widths {
+			if _, ok := betas[t][f]; !ok {
+				betas[t][f] = fitBeta(sample, f, t)
+			}
+		}
+	}
+	return betas
+}
+
+// SpMMJob builds one aggregation job for subgraph adjacency adj at
+// feature width f: estimates from the predictor (which may have been
+// retrained online since the request was generated), ground truth from
+// the kernel cost model. The per-request unit of the serving front end.
+func SpMMJob(id int, name string, adj *tensor.CSR, f int, p predict.Predictor,
+	sys *sched.System, betas map[isa.Target]map[int]float64) *sched.Job {
+	est := map[isa.Target]sched.Profile{}
+	for _, t := range sys.Targets() {
+		est[t] = spmmProfile(adj, f, t, p.UnitCycles(adj, f, t), betas[t][f])
+	}
+	j := &sched.Job{ID: id, Name: name, Kind: "spmm", Est: est}
+	j.TrueTime = func(sys *sched.System, t isa.Target, arrays int) event.Time {
+		return trueSpMMTime(sys, adj, f, t, arrays)
+	}
+	return j
+}
+
 // spmmProfile builds a scheduler profile for one aggregation SpMM from a
 // cycle source (predictor or oracle). beta comes from the per-mother-
 // graph fit.
@@ -196,16 +230,11 @@ func (w *Workload) SpMMJobs(p predict.Predictor, sys *sched.System) []*sched.Job
 	var jobs []*sched.Job
 	// Fit the scale-model exponent once per (target, layer-width) on a
 	// representative subgraph of this mother graph.
-	betas := map[isa.Target]map[int]float64{}
-	sample := w.Subgraphs()[0]
-	for _, t := range sys.Targets() {
-		betas[t] = map[int]float64{}
-		for _, spec := range w.Model.Layers {
-			if _, ok := betas[t][spec.In]; !ok {
-				betas[t][spec.In] = fitBeta(sample.Adj, spec.In, t)
-			}
-		}
+	widths := make([]int, 0, len(w.Model.Layers))
+	for _, spec := range w.Model.Layers {
+		widths = append(widths, spec.In)
 	}
+	betas := FitBetas(w.Subgraphs()[0].Adj, widths, sys)
 	id := 0
 	for _, sg := range w.Subgraphs() {
 		adj := sg.Adj

@@ -59,6 +59,36 @@ func New(rng *rand.Rand, sizes ...int) *Net {
 	return n
 }
 
+// Clone returns a deep copy of the network, including its Adam state,
+// so online fine-tuning of the copy (predictor retraining in the
+// serving front end) never perturbs the original.
+func (n *Net) Clone() *Net {
+	c := &Net{sizes: append([]int(nil), n.sizes...), step: n.step}
+	c.weights = clone3(n.weights)
+	c.mW = clone3(n.mW)
+	c.vW = clone3(n.vW)
+	c.biases = clone2(n.biases)
+	c.mB = clone2(n.mB)
+	c.vB = clone2(n.vB)
+	return c
+}
+
+func clone2(src [][]float64) [][]float64 {
+	out := make([][]float64, len(src))
+	for i, row := range src {
+		out[i] = append([]float64(nil), row...)
+	}
+	return out
+}
+
+func clone3(src [][][]float64) [][][]float64 {
+	out := make([][][]float64, len(src))
+	for i, m := range src {
+		out[i] = clone2(m)
+	}
+	return out
+}
+
 // NumParams returns the trainable parameter count.
 func (n *Net) NumParams() int {
 	total := 0

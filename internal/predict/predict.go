@@ -110,6 +110,59 @@ func Train(rng *rand.Rand, training []*tensor.CSR, f int, cfg TrainConfig) *MLP 
 	return p
 }
 
+// Clone returns an independent deep copy of the trained predictor.
+// Serving experiments train one MLP per mother graph (the expensive
+// step) and clone it per run, so each run's online retraining starts
+// from identical weights without re-training.
+func (p *MLP) Clone() *MLP {
+	c := &MLP{hw: p.hw.Clone(), f: p.f, cycles: make(map[isa.Target]*mlp.Net, len(p.cycles))}
+	for t, net := range p.cycles {
+		c.cycles[t] = net.Clone()
+	}
+	return c
+}
+
+// Observation is one ground-truth sample harvested from serving: the
+// implied unit-allocation cycle count of subgraph Adj's aggregation
+// SpMM on Target, inverted from an observed execution span by
+// sched.ObservedUnitCycles.
+type Observation struct {
+	Adj    *tensor.CSR
+	F      int
+	Target isa.Target
+	Cycles int64
+}
+
+// Refit fine-tunes the per-memory cycle regressors on observed serving
+// latencies — the online retraining loop of the serving front end. The
+// H_w regressor is left alone (its ground truth is structural, not
+// latency-derived); each observation updates only its target's net.
+// A few epochs at a low learning rate suffice: Refit corrects drift,
+// it does not retrain from scratch.
+func (p *MLP) Refit(rng *rand.Rand, obs []Observation, epochs int, lr float64) {
+	if len(obs) == 0 || epochs <= 0 {
+		return
+	}
+	byTarget := make(map[isa.Target][]Observation)
+	for _, o := range obs {
+		byTarget[o.Target] = append(byTarget[o.Target], o)
+	}
+	for _, t := range isa.Targets { // canonical order: determinism
+		os := byTarget[t]
+		net := p.cycles[t]
+		if len(os) == 0 || net == nil {
+			continue
+		}
+		xs := make([][]float64, len(os))
+		ys := make([][]float64, len(os))
+		for i, o := range os {
+			xs[i] = cycleFeatures(o.Adj, o.F, p.predictHw(o.Adj))
+			ys[i] = []float64{lg(float64(o.Cycles))}
+		}
+		net.Fit(rng, xs, ys, epochs, lr)
+	}
+}
+
 func (p *MLP) predictHw(adj *tensor.CSR) float64 {
 	out := p.hw.Forward(hwFeatures(adj))[0]
 	return math.Exp2(out*scale) - 1

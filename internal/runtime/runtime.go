@@ -46,6 +46,12 @@ type BatchResult struct {
 	Arrival   event.Time
 	Start     event.Time // when the scheduler picked it up
 	Completed event.Time
+	// Assignments is the per-job placement of the batch's schedule
+	// (target, allocation, and start/end offsets relative to Start).
+	// Populated only when the runtime's KeepAssignments is set: the
+	// serving front end inverts these observed spans into implied unit
+	// cycles for online predictor retraining.
+	Assignments []sched.Assignment
 }
 
 // Latency is the arrival-to-completion time.
@@ -68,6 +74,13 @@ type Runtime struct {
 	// loop.
 	OnStart    func(b *Batch, at event.Time)
 	OnComplete func(res BatchResult, err error)
+
+	// KeepAssignments retains each batch's per-job schedule assignments
+	// on its BatchResult, giving observers the per-job spans and targets
+	// the batch actually executed with. Off by default: the fleet
+	// benchmarks complete thousands of batches whose assignments nobody
+	// reads.
+	KeepAssignments bool
 
 	// ExecError, if set, is consulted at each batch's completion instant.
 	// A non-nil error marks the execution as failed: the batch's result
@@ -253,6 +266,9 @@ func (r *Runtime) pump() {
 		r.busy = false
 		done := BatchResult{
 			ID: b.ID, Arrival: b.Arrival, Start: start, Completed: r.eng.Now(),
+		}
+		if r.KeepAssignments {
+			done.Assignments = res.Assignments
 		}
 		var execErr error
 		if r.ExecError != nil {

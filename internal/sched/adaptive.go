@@ -2,7 +2,7 @@ package sched
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"mlimp/internal/event"
 	"mlimp/internal/isa"
@@ -51,15 +51,19 @@ func planAlloc(sys *System, j *Job, t isa.Target) int {
 }
 
 // partition assigns every job to its best layer at the planned
-// allocation.
+// allocation. Items live in one arena allocation: the batch-path
+// schedulers run per dispatched batch, so per-item heap traffic is the
+// fleet benchmarks' dominant allocation source.
 func partition(sys *System, jobs []*Job) queues {
 	qs := queues{}
 	for _, t := range sys.Targets() {
 		qs[t] = nil
 	}
-	for _, j := range jobs {
+	arena := make([]queueItem, len(jobs))
+	for i, j := range jobs {
 		t, _ := sys.BestTarget(j)
-		qs[t] = append(qs[t], &queueItem{job: j, arrays: planAlloc(sys, j, t)})
+		arena[i] = queueItem{job: j, arrays: planAlloc(sys, j, t)}
+		qs[t] = append(qs[t], &arena[i])
 	}
 	return qs
 }
@@ -138,20 +142,24 @@ func itemMean(sys *System, t isa.Target, q []*queueItem) float64 {
 // profitably take any job (it may simply be much slower for this job
 // mix), the next one is tried before giving up.
 func interQueueAdjust(sys *System, qs queues, o Opts) {
+	type qm struct {
+		t isa.Target
+		m float64
+	}
+	ranked := make([]qm, 0, len(qs))
 	for iter := 0; iter < o.MaxAdjust; iter++ {
-		type qm struct {
-			t isa.Target
-			m float64
-		}
-		ranked := make([]qm, 0, len(qs))
+		ranked = ranked[:0]
 		for t, q := range qs {
 			ranked = append(ranked, qm{t, queueMean(sys, t, q)})
 		}
-		sort.Slice(ranked, func(a, b int) bool {
-			if ranked[a].m != ranked[b].m {
-				return ranked[a].m < ranked[b].m
+		slices.SortFunc(ranked, func(a, b qm) int {
+			if a.m != b.m {
+				if a.m < b.m {
+					return -1
+				}
+				return 1
 			}
-			return ranked[a].t < ranked[b].t
+			return int(a.t) - int(b.t)
 		})
 		maxT, maxMean := ranked[len(ranked)-1].t, ranked[len(ranked)-1].m
 		if maxMean == 0 {
@@ -329,8 +337,15 @@ func dispatchWith(sys *System, qs queues, o dispatchOpts) *Result {
 	// Sort every queue descending by estimated time (larger jobs first).
 	for _, t := range sys.Targets() {
 		t, q := t, qs[t]
-		sort.SliceStable(q, func(i, j int) bool {
-			return sys.ModelTime(q[i].job, t, q[i].arrays) > sys.ModelTime(q[j].job, t, q[j].arrays)
+		slices.SortStableFunc(q, func(a, b *queueItem) int {
+			ta, tb := sys.ModelTime(a.job, t, a.arrays), sys.ModelTime(b.job, t, b.arrays)
+			switch {
+			case ta > tb:
+				return -1
+			case ta < tb:
+				return 1
+			}
+			return 0
 		})
 	}
 	pending := 0

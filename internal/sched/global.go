@@ -2,7 +2,7 @@ package sched
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"mlimp/internal/isa"
 )
@@ -42,17 +42,30 @@ func (g *Global) Schedule(sys *System, jobs []*Job) *Result {
 // dispatchEst simulates the greedy dispatch entirely on estimated times
 // and returns the per-layer planned order.
 func dispatchEst(sys *System, qs queues) map[isa.Target][]*queueItem {
-	// Copy the queues: dispatch consumes them.
+	// Copy the queues: dispatch consumes them. One arena per copy keeps
+	// the per-item heap traffic out of the per-batch hot path.
 	cp := queues{}
+	n := 0
 	for _, t := range sys.Targets() {
-		for _, it := range qs[t] {
-			cp[t] = append(cp[t], &queueItem{job: it.job, arrays: it.arrays})
+		n += len(qs[t])
+	}
+	arena := make([]queueItem, n)
+	i := 0
+	for _, t := range sys.Targets() {
+		items := make([]*queueItem, len(qs[t]))
+		for k, it := range qs[t] {
+			arena[i] = queueItem{job: it.job, arrays: it.arrays}
+			items[k] = &arena[i]
+			i++
 		}
+		cp[t] = items
 	}
 	res := dispatchWith(sys, cp, dispatchOpts{expand: true, estMode: true})
+	planArena := make([]queueItem, len(res.Assignments))
 	plan := map[isa.Target][]*queueItem{}
-	for _, a := range res.Assignments {
-		plan[a.Target] = append(plan[a.Target], &queueItem{job: a.Job, arrays: a.Arrays})
+	for i, a := range res.Assignments {
+		planArena[i] = queueItem{job: a.Job, arrays: a.Arrays}
+		plan[a.Target] = append(plan[a.Target], &planArena[i])
 	}
 	// Assignments are completion-ordered; re-order by planned start.
 	starts := map[int]int64{}
@@ -66,7 +79,16 @@ func dispatchEst(sys *System, qs queues) map[isa.Target][]*queueItem {
 }
 
 func sortItemsByKey(q []*queueItem, key map[int]int64) {
-	sort.SliceStable(q, func(i, j int) bool { return key[q[i].job.ID] < key[q[j].job.ID] })
+	slices.SortStableFunc(q, func(a, b *queueItem) int {
+		ka, kb := key[a.job.ID], key[b.job.ID]
+		switch {
+		case ka < kb:
+			return -1
+		case ka > kb:
+			return 1
+		}
+		return 0
+	})
 }
 
 // executePlan runs the fixed plan with actual job durations, starting
@@ -126,8 +148,15 @@ func intraQueueAdjust(sys *System, t isa.Target, q []*queueItem, o Opts) {
 	}
 	for iter := 0; iter < o.MaxAdjust; iter++ {
 		// Sort by t(x, z(x)) — current estimated time at planned alloc.
-		sort.SliceStable(q, func(a, b int) bool {
-			return sys.ModelTime(q[a].job, t, q[a].arrays) < sys.ModelTime(q[b].job, t, q[b].arrays)
+		slices.SortStableFunc(q, func(a, b *queueItem) int {
+			ta, tb := sys.ModelTime(a.job, t, a.arrays), sys.ModelTime(b.job, t, b.arrays)
+			switch {
+			case ta < tb:
+				return -1
+			case ta > tb:
+				return 1
+			}
+			return 0
 		})
 		minItem, maxItem := q[0], q[len(q)-1]
 		maxT := float64(sys.ModelTime(maxItem.job, t, maxItem.arrays))

@@ -165,9 +165,12 @@ func (s *System) profileTime(p Profile, t isa.Target, arrays int) event.Time {
 	return s.memoProfileTime(p, t, arrays)
 }
 
-// computeProfileTime evaluates Equations 1-3 from scratch — pure in
-// (p, t, arrays) given the layer's immutable configuration.
-func (s *System) computeProfileTime(p Profile, t isa.Target, arrays int) event.Time {
+// profileParts evaluates the allocation-dependent pieces of Equations
+// 1-3: the load/overhead term t_ld and the compute scale factor
+// (a_repunit/m)^beta, such that t(x,m) = ld + Cycles(UnitCycles)*scale.
+// Factored out so the model can be run forward (computeProfileTime) and
+// inverted (ObservedUnitCycles) from one definition.
+func (s *System) profileParts(p Profile, t isa.Target, arrays int) (ld event.Time, scale float64) {
 	l := s.Layers[t]
 	clock := l.Cfg.Clock()
 
@@ -183,10 +186,9 @@ func (s *System) computeProfileTime(p Profile, t isa.Target, arrays int) event.T
 	if p.MaxUseful > 0 && effArrays > p.MaxUseful {
 		effArrays = p.MaxUseful
 	}
-	scale := math.Pow(float64(repUnit)/float64(effArrays), beta)
-	cmpt := event.Time(float64(clock.Cycles(p.UnitCycles)) * scale)
+	scale = math.Pow(float64(repUnit)/float64(effArrays), beta)
 
-	ld := p.Overhead + s.DDR.StreamTime(p.LoadBytes) + s.DDR.StreamTime(p.StoreBytes)
+	ld = p.Overhead + s.DDR.StreamTime(p.LoadBytes) + s.DDR.StreamTime(p.StoreBytes)
 	if p.ProgramBytes > 0 {
 		ld += s.DDR.StreamTime(p.ProgramBytes) * programWriteSlowdown
 	}
@@ -199,7 +201,36 @@ func (s *System) computeProfileTime(p Profile, t isa.Target, arrays int) event.T
 		}
 		ld += clock.Cycles(rounds * int64(l.Cfg.ArrayRows))
 	}
-	return ld + cmpt
+	return ld, scale
+}
+
+// computeProfileTime evaluates Equations 1-3 from scratch — pure in
+// (p, t, arrays) given the layer's immutable configuration.
+func (s *System) computeProfileTime(p Profile, t isa.Target, arrays int) event.Time {
+	ld, scale := s.profileParts(p, t, arrays)
+	clock := s.Layers[t].Cfg.Clock()
+	return ld + event.Time(float64(clock.Cycles(p.UnitCycles))*scale)
+}
+
+// ObservedUnitCycles inverts the cost model: given the observed span of
+// a job that executed on target t with the given allocation under
+// profile p, it returns the unit-allocation compute cycle count the
+// model would have needed to predict that span exactly. The serving
+// front end feeds these implied cycles back into the online predictor
+// as training observations. Spans at or below the load/overhead term
+// imply no measurable compute and floor at one cycle.
+func (s *System) ObservedUnitCycles(p Profile, t isa.Target, arrays int, span event.Time) int64 {
+	ld, scale := s.profileParts(p, t, arrays)
+	clock := s.Layers[t].Cfg.Clock()
+	cmpt := span - ld
+	if cmpt <= 0 || scale <= 0 {
+		return 1
+	}
+	c := clock.CyclesAt(event.Time(float64(cmpt) / scale))
+	if c < 1 {
+		c = 1
+	}
+	return c
 }
 
 // ActualTime returns the simulated execution time: TrueTime when the job

@@ -1,7 +1,6 @@
 package sched
 
 import (
-	"container/heap"
 	"fmt"
 
 	"mlimp/internal/event"
@@ -57,13 +56,55 @@ type flight struct {
 	estEnd event.Time // start + estimated duration (scheduler belief)
 }
 
+// flightHeap is a hand-rolled min-heap on end time. The sift directions
+// mirror container/heap exactly (strict-less comparisons, left child
+// preferred on ties) so pop order is unchanged, but push/pop take and
+// return flight values directly — container/heap's any-boxed interface
+// allocates twice per placement, which the fleet benchmarks pay per job.
 type flightHeap []flight
 
-func (h flightHeap) Len() int           { return len(h) }
-func (h flightHeap) Less(i, j int) bool { return h[i].end < h[j].end }
-func (h flightHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *flightHeap) Push(x any)        { *h = append(*h, x.(flight)) }
-func (h *flightHeap) Pop() any          { o := *h; n := len(o); f := o[n-1]; *h = o[:n-1]; return f }
+func (h flightHeap) Len() int { return len(h) }
+
+func (h *flightHeap) push(f flight) {
+	*h = append(*h, f)
+	o := *h
+	i := len(o) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(o[i].end < o[parent].end) {
+			break
+		}
+		o[i], o[parent] = o[parent], o[i]
+		i = parent
+	}
+}
+
+func (h *flightHeap) pop() flight {
+	o := *h
+	n := len(o) - 1
+	f := o[0]
+	o[0] = o[n]
+	o[n] = flight{} // drop the job pointer
+	o = o[:n]
+	*h = o
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && o[l].end < o[least].end {
+			least = l
+		}
+		if r < n && o[r].end < o[least].end {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		o[i], o[least] = o[least], o[i]
+		i = least
+	}
+	return f
+}
 
 // simState tracks resource occupancy during schedule execution. With
 // estMode set, placements are charged their estimated (model) time
@@ -113,7 +154,7 @@ func (st *simState) place(j *Job, t isa.Target, arrays int) {
 	}
 	st.free[t] -= arrays
 	st.slots[t]--
-	heap.Push(&st.flying, flight{job: j, target: t, arrays: arrays,
+	st.flying.push(flight{job: j, target: t, arrays: arrays,
 		start: st.now, end: st.now + dur, estEnd: st.now + st.sys.ModelTime(j, t, arrays)})
 }
 
@@ -123,7 +164,7 @@ func (st *simState) advance() bool {
 	if st.flying.Len() == 0 {
 		return false
 	}
-	f := heap.Pop(&st.flying).(flight)
+	f := st.flying.pop()
 	st.now = f.end
 	st.free[f.target] += f.arrays
 	st.slots[f.target]++

@@ -1,0 +1,160 @@
+// Package serve is the request-level open-loop front end of the MLIMP
+// fleet: deterministic arrival processes emit individual GNN inference
+// requests with per-request SLO deadlines, a continuous batch-former
+// coalesces compatible requests under a latency budget, and an
+// SLO-aware admission stage runs the internal/predict MLP online to
+// shed requests predicted to miss their deadline — retraining the
+// predictor from observed latencies as it drifts. It layers on the
+// sharded cluster fabric (internal/cluster.ShardedDispatcher): all
+// front-end state lives on the hub shard and is mutated only inside hub
+// events, so a run is byte-identical for any worker count.
+package serve
+
+import (
+	"math"
+	"math/rand"
+
+	"mlimp/internal/event"
+)
+
+// ArrivalProcess draws successive inter-arrival gaps. Next may depend
+// on the current simulated time (diurnal modulation) and must be
+// deterministic for a seeded rng: the serving front end pre-generates
+// the whole arrival trace before the simulation runs.
+type ArrivalProcess interface {
+	Name() string
+	// Next returns the gap from now to the next arrival (>= 1 time unit).
+	Next(rng *rand.Rand, now event.Time) event.Time
+}
+
+// Poisson is the memoryless open arrival process: exponentially
+// distributed gaps with the given mean.
+type Poisson struct {
+	MeanGap event.Time
+}
+
+// Name implements ArrivalProcess.
+func (Poisson) Name() string { return "poisson" }
+
+// Next implements ArrivalProcess.
+func (p Poisson) Next(rng *rand.Rand, _ event.Time) event.Time {
+	return clampGap(event.Time(rng.ExpFloat64() * float64(p.MeanGap)))
+}
+
+// MMPPState is one phase of a Markov-modulated Poisson process: emit
+// with MeanGap while the state holds, hold for an exponentially
+// distributed dwell with mean MeanDwell.
+type MMPPState struct {
+	MeanGap   event.Time
+	MeanDwell event.Time
+}
+
+// MMPP is a cyclic Markov-modulated Poisson process — the bursty
+// arrival model (e.g. a calm state alternating with a burst state whose
+// gaps are 10x shorter). States advance cyclically when their dwell
+// expires. Edge cases are defined, not fatal: a state with
+// MeanDwell <= 0 emits exactly one arrival and is left immediately
+// (progress is guaranteed), and a single-state MMPP degenerates to a
+// Poisson process. The zero-value dwell bookkeeping draws the first
+// state's dwell on the first Next call, so a fresh MMPP is ready to use.
+type MMPP struct {
+	States []MMPPState
+
+	state     int
+	dwellLeft event.Time
+	started   bool
+}
+
+// Name implements ArrivalProcess.
+func (*MMPP) Name() string { return "mmpp" }
+
+// Next implements ArrivalProcess.
+func (m *MMPP) Next(rng *rand.Rand, _ event.Time) event.Time {
+	if len(m.States) == 0 {
+		panic("serve: MMPP needs at least one state")
+	}
+	if !m.started {
+		m.started = true
+		m.dwellLeft = m.drawDwell(rng)
+	}
+	s := m.States[m.state]
+	gap := clampGap(event.Time(rng.ExpFloat64() * float64(s.MeanGap)))
+	m.dwellLeft -= gap
+	if m.dwellLeft <= 0 {
+		m.state = (m.state + 1) % len(m.States)
+		m.dwellLeft = m.drawDwell(rng)
+	}
+	return gap
+}
+
+// drawDwell samples the current state's dwell; non-positive mean dwells
+// return 0, so the state is left right after its next emission.
+func (m *MMPP) drawDwell(rng *rand.Rand) event.Time {
+	s := m.States[m.state]
+	if s.MeanDwell <= 0 {
+		return 0
+	}
+	return event.Time(rng.ExpFloat64() * float64(s.MeanDwell))
+}
+
+// Diurnal modulates a base process with a sinusoidal rate-of-day curve
+// plus an optional flash crowd: the instantaneous rate multiplier is
+//
+//	rate(t) = 1 + Amplitude*sin(2*pi*t/Period)   [flash: *FlashBoost]
+//
+// and each base gap is divided by rate(t), so arrivals densify at the
+// peak of the wave and during the flash window. Amplitude must sit in
+// [0, 1): the rate multiplier stays positive.
+type Diurnal struct {
+	Base      ArrivalProcess
+	Period    event.Time // wavelength of the daily cycle
+	Amplitude float64    // 0 disables modulation
+	// Flash crowd: rate is multiplied by FlashBoost inside
+	// [FlashAt, FlashAt+FlashDur). Zero FlashBoost disables it.
+	FlashAt    event.Time
+	FlashDur   event.Time
+	FlashBoost float64
+}
+
+// Name implements ArrivalProcess.
+func (d Diurnal) Name() string { return "diurnal(" + d.Base.Name() + ")" }
+
+// Next implements ArrivalProcess.
+func (d Diurnal) Next(rng *rand.Rand, now event.Time) event.Time {
+	gap := d.Base.Next(rng, now)
+	rate := 1.0
+	if d.Amplitude > 0 && d.Period > 0 {
+		rate += d.Amplitude * math.Sin(2*math.Pi*float64(now)/float64(d.Period))
+	}
+	if d.FlashBoost > 0 && now >= d.FlashAt && now < d.FlashAt+d.FlashDur {
+		rate *= d.FlashBoost
+	}
+	if rate <= 0 {
+		rate = 1e-3 // misuse guard: never stall the trace
+	}
+	return clampGap(event.Time(float64(gap) / rate))
+}
+
+// clampGap floors gaps at one time unit so traces always progress.
+func clampGap(g event.Time) event.Time {
+	if g < 1 {
+		return 1
+	}
+	return g
+}
+
+// Trace pre-generates the arrival times of a process from start until
+// the horizon (exclusive). Deterministic for a seeded rng — the trace
+// is drawn before the simulation runs, so arrival randomness can never
+// depend on simulation interleaving.
+func Trace(rng *rand.Rand, p ArrivalProcess, start, horizon event.Time) []event.Time {
+	var out []event.Time
+	at := start
+	for {
+		at += p.Next(rng, at)
+		if at >= horizon {
+			return out
+		}
+		out = append(out, at)
+	}
+}

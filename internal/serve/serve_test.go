@@ -1,0 +1,286 @@
+package serve
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mlimp/internal/cluster"
+	"mlimp/internal/event"
+	"mlimp/internal/graph"
+	"mlimp/internal/isa"
+	"mlimp/internal/predict"
+	"mlimp/internal/sched"
+	"mlimp/internal/tensor"
+)
+
+// --- arrival processes -------------------------------------------------
+
+// gaps draws n successive gaps from a fresh process with a fixed seed.
+func gaps(p ArrivalProcess, seed int64, n int) []event.Time {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]event.Time, n)
+	at := event.Time(0)
+	for i := range out {
+		out[i] = p.Next(rng, at)
+		at += out[i]
+	}
+	return out
+}
+
+func TestTraceDeterministicAndOrdered(t *testing.T) {
+	procs := []func() ArrivalProcess{
+		func() ArrivalProcess { return Poisson{MeanGap: 50 * event.Microsecond} },
+		func() ArrivalProcess {
+			return &MMPP{States: []MMPPState{
+				{MeanGap: 100 * event.Microsecond, MeanDwell: event.Millisecond},
+				{MeanGap: 10 * event.Microsecond, MeanDwell: 300 * event.Microsecond},
+			}}
+		},
+		func() ArrivalProcess {
+			return Diurnal{
+				Base:   Poisson{MeanGap: 50 * event.Microsecond},
+				Period: 2 * event.Millisecond, Amplitude: 0.8,
+				FlashAt: event.Millisecond, FlashDur: 500 * event.Microsecond, FlashBoost: 5,
+			}
+		},
+	}
+	for _, mk := range procs {
+		name := mk().Name()
+		rng1 := rand.New(rand.NewSource(7))
+		rng2 := rand.New(rand.NewSource(7))
+		a := Trace(rng1, mk(), 0, 10*event.Millisecond)
+		b := Trace(rng2, mk(), 0, 10*event.Millisecond)
+		if len(a) == 0 {
+			t.Fatalf("%s: empty trace", name)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%s: trace lengths differ: %d vs %d", name, len(a), len(b))
+		}
+		prev := event.Time(-1)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: traces diverge at %d: %v vs %v", name, i, a[i], b[i])
+			}
+			if a[i] <= prev {
+				t.Fatalf("%s: non-increasing arrival at %d: %v after %v", name, i, a[i], prev)
+			}
+			if a[i] >= 10*event.Millisecond {
+				t.Fatalf("%s: arrival %v past horizon", name, a[i])
+			}
+			prev = a[i]
+		}
+	}
+}
+
+// A single-state MMPP with zero dwell never draws a dwell, so its gap
+// stream is exactly the Poisson stream of the same seed — the
+// degeneracy the doc comment promises.
+func TestMMPPSingleStateZeroDwellIsPoisson(t *testing.T) {
+	mean := 80 * event.Microsecond
+	mm := gaps(&MMPP{States: []MMPPState{{MeanGap: mean}}}, 3, 200)
+	po := gaps(Poisson{MeanGap: mean}, 3, 200)
+	for i := range mm {
+		if mm[i] != po[i] {
+			t.Fatalf("gap %d: mmpp %v != poisson %v", i, mm[i], po[i])
+		}
+	}
+}
+
+// Zero-dwell states emit exactly one arrival each, so a two-state
+// zero-dwell MMPP alternates states per arrival and still progresses.
+func TestMMPPZeroDwellAlternates(t *testing.T) {
+	m := &MMPP{States: []MMPPState{
+		{MeanGap: event.Millisecond},
+		{MeanGap: event.Microsecond},
+	}}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		wantState := i % 2
+		if m.started && m.state != wantState {
+			t.Fatalf("arrival %d drawn from state %d, want %d", i, m.state, wantState)
+		}
+		if g := m.Next(rng, 0); g < 1 {
+			t.Fatalf("arrival %d: non-positive gap %v", i, g)
+		}
+	}
+}
+
+func TestMMPPSingleStateWithDwellProgresses(t *testing.T) {
+	m := &MMPP{States: []MMPPState{{MeanGap: 50 * event.Microsecond, MeanDwell: 10 * event.Microsecond}}}
+	for i, g := range gaps(m, 9, 500) {
+		if g < 1 {
+			t.Fatalf("gap %d: %v", i, g)
+		}
+	}
+}
+
+// The flash window must densify arrivals: mean gap inside the window
+// below the unmodulated mean.
+func TestDiurnalFlashDensifies(t *testing.T) {
+	base := 100 * event.Microsecond
+	d := Diurnal{
+		Base:    Poisson{MeanGap: base},
+		FlashAt: 5 * event.Millisecond, FlashDur: 5 * event.Millisecond, FlashBoost: 10,
+	}
+	rng := rand.New(rand.NewSource(1))
+	arr := Trace(rng, d, 0, 10*event.Millisecond)
+	var inFlash, before int
+	for _, at := range arr {
+		if at >= d.FlashAt {
+			inFlash++
+		} else {
+			before++
+		}
+	}
+	if inFlash < 4*before {
+		t.Fatalf("flash window not denser: %d arrivals in flash vs %d before", inFlash, before)
+	}
+}
+
+// --- front end ---------------------------------------------------------
+
+func testFleet() []cluster.NodeConfig {
+	return []cluster.NodeConfig{
+		{Name: "full", Targets: isa.Targets},
+		{Name: "sram-dram", Targets: []isa.Target{isa.SRAM, isa.DRAM}},
+		{Name: "reram", Targets: []isa.Target{isa.ReRAM}},
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	d := cluster.NewShardedDispatcher(cluster.NewPredictedCost(), cluster.Admission{},
+		cluster.ShardConfig{Workers: 1}, testFleet()...)
+	req := &Request{ID: 0, Arrival: 1, Deadline: 2}
+	build := func(r *Request) *sched.Job { return r.Job }
+	cases := []struct {
+		name string
+		d    *cluster.ShardedDispatcher
+		cfg  Config
+	}{
+		{"nil dispatcher", nil, Config{Requests: []*Request{req}, Budget: 1, BuildJob: build}},
+		{"zero budget", d, Config{Requests: []*Request{req}, BuildJob: build}},
+		{"negative budget", d, Config{Requests: []*Request{req}, Budget: -1, BuildJob: build}},
+		{"nil BuildJob", d, Config{Requests: []*Request{req}, Budget: 1}},
+		{"empty trace", d, Config{Budget: 1, BuildJob: build}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.d, c.cfg); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}
+
+// appScenario runs an app-source serving run on a fixed workload.
+func appScenario(t *testing.T, workers int, admission bool, meanGap event.Time) Summary {
+	t.Helper()
+	sys := sched.NewSystem(isa.Targets...)
+	src := NewAppSource(sys)
+	rng := rand.New(rand.NewSource(11))
+	arr := Trace(rng, Poisson{MeanGap: meanGap}, 0, 200*meanGap)
+	reqs := src.Requests(rng, arr, 30*event.Millisecond)
+	d := cluster.NewShardedDispatcher(cluster.NewPredictedCost(), cluster.Admission{MaxRetries: 1},
+		cluster.ShardConfig{Workers: workers}, testFleet()...)
+	fe, err := New(d, Config{
+		Requests: reqs, Budget: 200 * event.Microsecond, BatchMax: 4,
+		PredictorAdmission: admission, BuildJob: src.BuildJob, Seed: 3,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return fe.Run()
+}
+
+// The serving digest must be byte-identical for every worker count —
+// the front end lives on the hub shard, so the PDES worker count can
+// only change wall-clock, never results.
+func TestServingWorkerEquivalence(t *testing.T) {
+	want := appScenario(t, 1, true, 300*event.Microsecond).String()
+	for _, w := range []int{2, 4, 8} {
+		if got := appScenario(t, w, true, 300*event.Microsecond).String(); got != want {
+			t.Fatalf("workers=%d diverges:\n%s\nwant:\n%s", w, got, want)
+		}
+	}
+}
+
+func TestServingConservation(t *testing.T) {
+	for _, adm := range []bool{false, true} {
+		s := appScenario(t, 2, adm, 100*event.Microsecond)
+		if s.Accounted() != s.Requests {
+			t.Fatalf("admission=%v: accounted %d of %d requests (%+v)",
+				adm, s.Accounted(), s.Requests, s)
+		}
+		if s.Completed == 0 {
+			t.Fatalf("admission=%v: nothing completed", adm)
+		}
+	}
+}
+
+// --- GNN serving with the online predictor loop ------------------------
+
+var (
+	gnnOnce sync.Once
+	gnnPred *predict.MLP
+	gnnDS   = graph.Dataset{Name: "serve-test", Vertices: 400, InputFeat: 16,
+		HiddenFeat: 16, ScaleDiv: 1, Attachment: 3}
+)
+
+// trainedPredictor trains one small MLP once; scenarios Clone it so
+// each run's online retraining starts from identical weights.
+func trainedPredictor() *predict.MLP {
+	gnnOnce.Do(func() {
+		rng := rand.New(rand.NewSource(42))
+		g := gnnDS.Generate(rng)
+		s := graph.NewSampler(rng, g, 2, 0)
+		var training []*tensor.CSR
+		for i := 0; i < 24; i++ {
+			training = append(training, s.Sample(rng.Intn(g.N)).Adj)
+		}
+		gnnPred = predict.Train(rng, training, gnnDS.InputFeat,
+			predict.TrainConfig{Epochs: 80, LR: 2e-3})
+	})
+	return gnnPred
+}
+
+func gnnScenario(t *testing.T, workers int, admission bool) Summary {
+	t.Helper()
+	pred := trainedPredictor().Clone()
+	sys := sched.NewSystem(isa.Targets...)
+	rng := rand.New(rand.NewSource(9))
+	src := NewGNNSource(rng, gnnDS, gnnDS.InputFeat, pred, sys)
+	arr := Trace(rng, &MMPP{States: []MMPPState{
+		{MeanGap: 400 * event.Microsecond, MeanDwell: 4 * event.Millisecond},
+		{MeanGap: 60 * event.Microsecond, MeanDwell: 2 * event.Millisecond},
+	}}, 0, 12*event.Millisecond)
+	reqs := src.Requests(rng, arr, 4*event.Millisecond)
+	d := cluster.NewShardedDispatcher(cluster.NewPredictedCost(), cluster.Admission{MaxRetries: 1},
+		cluster.ShardConfig{Workers: workers}, testFleet()...)
+	fe, err := New(d, Config{
+		Requests: reqs, Budget: 300 * event.Microsecond, BatchMax: 4,
+		PredictorAdmission: admission, BuildJob: src.BuildJob,
+		Predictor: pred, Mirror: sys,
+		RetrainEvery: 4, RetrainEpochs: 8, Seed: 5,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return fe.Run()
+}
+
+// The full loop — per-request jobs, admission, observation harvesting,
+// online retraining — must also be worker-count invariant.
+func TestGNNServingWorkerEquivalence(t *testing.T) {
+	a := gnnScenario(t, 1, true)
+	if a.Accounted() != a.Requests {
+		t.Fatalf("accounted %d of %d requests", a.Accounted(), a.Requests)
+	}
+	if a.Retrains == 0 {
+		t.Fatalf("predictor never retrained: %+v", a)
+	}
+	want := a.String()
+	for _, w := range []int{2, 4} {
+		if got := gnnScenario(t, w, true).String(); got != want {
+			t.Fatalf("workers=%d diverges:\n%s\nwant:\n%s", w, got, want)
+		}
+	}
+}

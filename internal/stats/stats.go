@@ -154,6 +154,44 @@ func SummarizeLatency(xs []float64) LatencyStats {
 	}
 }
 
+// SLOStats is the goodput digest of an SLO-bound serving run: how many
+// requests completed within their deadline, the goodput they represent
+// (met requests per second over the serving horizon), and the
+// per-request latency tail of everything that completed.
+type SLOStats struct {
+	Requests  int     // requests offered to the front end
+	Completed int     // requests that finished (within deadline or not)
+	Met       int     // requests completed within their deadline
+	Goodput   float64 // Met / horizon, in requests per second
+	Latency   LatencyStats
+}
+
+// MetFrac returns the fraction of offered requests that met their SLO.
+func (s SLOStats) MetFrac() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Met) / float64(s.Requests)
+}
+
+// SummarizeSLO digests an SLO-bound run: latenciesMs are the
+// per-request completion latencies (one per completed request), met is
+// how many of those beat their deadline, requests is the offered count,
+// and horizonSec is the serving span goodput normalises over. A
+// non-positive horizon yields zero goodput.
+func SummarizeSLO(latenciesMs []float64, met, requests int, horizonSec float64) SLOStats {
+	s := SLOStats{
+		Requests:  requests,
+		Completed: len(latenciesMs),
+		Met:       met,
+		Latency:   SummarizeLatency(latenciesMs),
+	}
+	if horizonSec > 0 {
+		s.Goodput = float64(met) / horizonSec
+	}
+	return s
+}
+
 // Median returns the 50th percentile of xs.
 func Median(xs []float64) float64 { return Percentile(xs, 50) }
 

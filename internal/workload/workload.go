@@ -128,6 +128,40 @@ func RandomJobs(rng *rand.Rand, n, startID int) []*sched.Job {
 	return jobs
 }
 
+// RequestPool caches the per-app cost profiles so single-request draws
+// — the open-loop serving front end generates one job per request —
+// don't recompile every kernel per request.
+type RequestPool struct {
+	suite []apps.App
+	ests  []map[isa.Target]sched.Profile
+}
+
+// NewRequestPool analyses the Table II application suite once.
+func NewRequestPool() *RequestPool {
+	suite := apps.Suite()
+	p := &RequestPool{suite: suite, ests: make([]map[isa.Target]sched.Profile, len(suite))}
+	for i, a := range suite {
+		est := map[isa.Target]sched.Profile{}
+		for _, t := range isa.Targets {
+			est[t] = profileFor(a, t)
+		}
+		p.ests[i] = est
+	}
+	return p
+}
+
+// Draw builds one job for a uniformly drawn app. Deterministic for a
+// seeded rng; the shared profiles are read-only to the scheduler.
+func (p *RequestPool) Draw(rng *rand.Rand, id int) *sched.Job {
+	k := rng.Intn(len(p.suite))
+	return &sched.Job{
+		ID:   id,
+		Name: fmt.Sprintf("%s-%d", p.suite[k].Name, id),
+		Kind: p.suite[k].Name,
+		Est:  p.ests[k],
+	}
+}
+
 // StandaloneTime returns the modelled kernel time of one app job on one
 // memory layer given the whole layer (full capacity, the Figure 17
 // setting). Working sets larger than the layer pay the scale-model
