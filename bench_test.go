@@ -72,6 +72,28 @@ func BenchmarkExtension_ServingNode(b *testing.B)           { run(b, "serving-no
 func BenchmarkExtension_Quantization(b *testing.B)          { run(b, "quant") }
 func BenchmarkExtension_Cluster(b *testing.B)               { run(b, "cluster") }
 func BenchmarkExtension_Faults(b *testing.B)                { run(b, "faults") }
+func BenchmarkExtension_MultiTenant(b *testing.B)           { run(b, "multitenant") }
+
+// BenchmarkMultiTenantSchedule measures the array-set scheduler on one
+// dense mixed-tenant batch: 32 jobs across 4 tenants packed weighted-
+// fair on a full node — the multi-tenant analogue of the Fig. 19
+// scheduling hot path. The job set is built once and is read-only to
+// the scheduler, so iterations measure placement, not generation.
+func BenchmarkMultiTenantSchedule(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	sys := sched.NewSystem(isa.Targets...)
+	sys.Packing = sched.PackWeightedFair
+	jobs := workload.AssignTenants(workload.RandomJobs(rng, 32, 0), 4)
+	sc := sched.NewGlobal()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := sc.Schedule(sys, jobs)
+		if len(res.Assignments) != len(jobs) {
+			b.Fatalf("completed %d of %d jobs", len(res.Assignments), len(jobs))
+		}
+	}
+}
 
 // BenchmarkServeFrontend drives the open-loop request front end — the
 // arrival/batch-former/admission hot path of internal/serve — over a

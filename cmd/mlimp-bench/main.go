@@ -24,11 +24,14 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"mlimp/internal/experiments"
@@ -39,6 +42,8 @@ func main() {
 	run := flag.String("run", "", "run only the experiment with this id")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "number of experiments to run concurrently")
 	simJobs := flag.Int("sim-j", 1, "event-engine shards advanced concurrently inside the fleet experiments (1 = serial; artefacts are identical at any value)")
+	tenants := flag.String("tenants", "2,4", "comma-separated tenant counts for the multitenant sweep")
+	packing := flag.String("packing", "all", "array packing policy for the multitenant sweep (first-fit, partitioned, weighted-fair, all)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
@@ -49,6 +54,15 @@ func main() {
 	}
 	if *simJobs < 1 {
 		fmt.Fprintf(os.Stderr, "mlimp-bench: -sim-j must be >= 1 (got %d)\n", *simJobs)
+		os.Exit(2)
+	}
+	counts, err := parseTenantCounts(*tenants)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mlimp-bench: %v\n", err)
+		os.Exit(2)
+	}
+	if err := experiments.SetMultiTenant(counts, *packing); err != nil {
+		fmt.Fprintf(os.Stderr, "mlimp-bench: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -100,6 +114,33 @@ func main() {
 	fmt.Printf("full reproduction suite completed in %v (%d experiments, -j %d)\n",
 		time.Since(start).Round(time.Millisecond), len(results), *jobs)
 }
+
+// parseTenantCounts parses the -tenants list, rejecting zero or
+// negative counts — ErrBadTenants is the named validation failure.
+func parseTenantCounts(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %q is not a tenant count", ErrBadTenants, part)
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("%w: tenant count must be >= 1, got %d", ErrBadTenants, n)
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("%w: -tenants list is empty", ErrBadTenants)
+	}
+	return counts, nil
+}
+
+// ErrBadTenants rejects zero, negative, or malformed -tenants values.
+var ErrBadTenants = errors.New("invalid -tenants")
 
 // writeMemProfile snapshots the allocation profile after a final GC, so
 // the profile reflects live heap rather than collectable garbage.

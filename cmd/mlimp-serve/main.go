@@ -30,9 +30,16 @@
 //
 //	mlimp-serve -open -j 2 -arrival mmpp -req-gap-us 50 -slo-ms 2
 //	mlimp-serve -open -j 2 -source gnn -admission predictor
+//
+// Multi-tenant serving tags work round-robin across -tenants tenants
+// and packs each tenant onto disjoint array sets per node under the
+// -packing policy; summaries then carry per-tenant goodput and p99:
+//
+//	mlimp-serve -open -j 2 -tenants 4 -packing weighted-fair
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -56,6 +63,12 @@ import (
 // defaultFleet mirrors the bundled `cluster` experiment: a full node,
 // two partial mixes, and a ReRAM-only straggler.
 const defaultFleet = "sram,dram,reram/sram,dram/dram,reram/reram"
+
+// Named flag-validation failures (exit status 2).
+var (
+	errBadTenants = errors.New("invalid -tenants")
+	errBadPacking = errors.New("invalid -packing")
+)
 
 // parseFleet turns "sram,dram@0.5/reram" into node configs: nodes are
 // slash-separated, layers comma-separated, with an optional @scale
@@ -137,6 +150,9 @@ func main() {
 	admission := flag.String("admission", "predictor", "open-loop admission: predictor | blind")
 	retrainEvery := flag.Int("retrain-every", 8,
 		"open-loop predictor refit period in completed batches (0: refit only on drift)")
+	tenants := flag.Int("tenants", 1, "tag work round-robin across this many tenants (1 = untenanted)")
+	packing := flag.String("packing", "first-fit",
+		"per-node array packing policy: first-fit | partitioned | weighted-fair")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -205,11 +221,22 @@ func main() {
 	if _, err := buildArrival(*arrival, 1, 2); err != nil {
 		fail("%v", err)
 	}
+	if *tenants < 1 {
+		fail("%v: tenant count must be >= 1 (got %d)", errBadTenants, *tenants)
+	}
+	pk, ok := sched.PackingByName(*packing)
+	if !ok {
+		fail("%v: unknown packing %q (have %s)", errBadPacking, *packing,
+			strings.Join(sched.PackingNames(), " | "))
+	}
 
 	cfgs, err := parseFleet(*nodes)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mlimp-serve: %v\n", err)
 		os.Exit(1)
+	}
+	for i := range cfgs {
+		cfgs[i].Packing = pk
 	}
 	policies := cluster.PolicyNames()
 	if *policy != "all" {
@@ -279,7 +306,7 @@ func main() {
 			slo:                event.Time(*sloMs * float64(event.Millisecond)),
 			budget:             event.Time(*budgetUs * float64(event.Microsecond)),
 			batchMax:           *batchMax, retrainEvery: *retrainEvery,
-			seed: *seed, faultCfg: fc,
+			tenants: *tenants, seed: *seed, faultCfg: fc,
 		})
 		return
 	}
@@ -322,7 +349,11 @@ func main() {
 		rng := rand.New(rand.NewSource(*seed))
 		gap := event.Time(*meanGapMs * float64(event.Millisecond))
 		for i, at := range cluster.PoissonArrivals(rng, *batches, gap) {
-			if err := d.Submit(&runtime.Batch{ID: i, Arrival: at,
+			tenant := ""
+			if *tenants > 1 {
+				tenant = fmt.Sprintf("t%d", i%*tenants)
+			}
+			if err := d.Submit(&runtime.Batch{ID: i, Arrival: at, Tenant: tenant,
 				Jobs: workload.RandomJobs(rng, *batchSize, i*1000)}); err != nil {
 				fmt.Fprintf(os.Stderr, "mlimp-serve: %v\n", err)
 				os.Exit(1)
@@ -380,6 +411,7 @@ type openParams struct {
 	reqGap, horizon, slo   event.Time
 	budget                 event.Time
 	batchMax, retrainEvery int
+	tenants                int
 	seed                   int64
 	faultCfg               *cluster.FaultConfig
 }
@@ -431,6 +463,9 @@ func runOpenLoop(policies []string, adm cluster.Admission, cfgs []cluster.NodeCo
 			src := serve.NewAppSource(sys)
 			reqs = src.Requests(rng, arr, p.slo)
 			build = src.BuildJob
+		}
+		if p.tenants > 1 {
+			serve.AssignTenants(reqs, p.tenants)
 		}
 		fe, err := serve.New(d, serve.Config{
 			Requests: reqs, Budget: p.budget, BatchMax: p.batchMax,

@@ -30,7 +30,7 @@ func makeJobs(rng *rand.Rand, sys *sched.System, n int, sigma float64) []*sched.
 			if t == pref {
 				factor = 0.5 + rng.Float64()*0.5
 			}
-			ru := int(frac * float64(sys.Layers[t].Capacity))
+			ru := int(frac * float64(sys.Layers[t].Capacity()))
 			if ru < 1 {
 				ru = 1
 			}

@@ -32,6 +32,9 @@ type NodeConfig struct {
 	// Scheduler is the node's batch scheduler; nil means the global
 	// scheduler (Algorithm 2), the paper's best.
 	Scheduler sched.Scheduler
+	// Packing selects the node's multi-tenant array packing policy
+	// (zero value: first-fit, the single-pool behaviour).
+	Packing sched.Packing
 }
 
 // Node is one MLIMP system wrapped in a runtime executor plus the
@@ -175,13 +178,14 @@ func newSystemFor(cfg NodeConfig) *sched.System {
 	sys := sched.NewSystem(cfg.Targets...)
 	if cfg.Scale > 0 && cfg.Scale != 1 {
 		for _, l := range sys.Layers {
-			if c := int(float64(l.Capacity) * cfg.Scale); c >= 1 {
-				l.Capacity = c
+			if c := int(float64(l.Capacity()) * cfg.Scale); c >= 1 {
+				l.SetCapacity(c)
 			} else {
-				l.Capacity = 1
+				l.SetCapacity(1)
 			}
 		}
 	}
+	sys.Packing = cfg.Packing
 	return sys
 }
 

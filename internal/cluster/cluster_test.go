@@ -179,13 +179,13 @@ func TestCapacityScale(t *testing.T) {
 	eng := &event.Engine{}
 	full := NewNode(eng, NodeConfig{Targets: []isa.Target{isa.SRAM}})
 	half := NewNode(eng, NodeConfig{Targets: []isa.Target{isa.SRAM}, Scale: 0.5})
-	if half.Sys.Layers[isa.SRAM].Capacity*2 != full.Sys.Layers[isa.SRAM].Capacity {
+	if half.Sys.Layers[isa.SRAM].Capacity()*2 != full.Sys.Layers[isa.SRAM].Capacity() {
 		t.Errorf("scale 0.5: %d vs %d arrays",
-			half.Sys.Layers[isa.SRAM].Capacity, full.Sys.Layers[isa.SRAM].Capacity)
+			half.Sys.Layers[isa.SRAM].Capacity(), full.Sys.Layers[isa.SRAM].Capacity())
 	}
 	tiny := NewNode(eng, NodeConfig{Targets: []isa.Target{isa.SRAM}, Scale: 1e-9})
-	if tiny.Sys.Layers[isa.SRAM].Capacity != 1 {
-		t.Errorf("scale floor broken: %d", tiny.Sys.Layers[isa.SRAM].Capacity)
+	if tiny.Sys.Layers[isa.SRAM].Capacity() != 1 {
+		t.Errorf("scale floor broken: %d", tiny.Sys.Layers[isa.SRAM].Capacity())
 	}
 }
 

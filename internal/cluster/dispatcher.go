@@ -3,10 +3,13 @@ package cluster
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 
 	"mlimp/internal/event"
+	"mlimp/internal/isa"
 	"mlimp/internal/runtime"
+	"mlimp/internal/sched"
 	"mlimp/internal/stats"
 )
 
@@ -132,6 +135,30 @@ type Dispatcher struct {
 	deadLettered int
 	execErrors   int
 	timeouts     int
+	tenants      map[string]*tenantCounts
+}
+
+// tenantCounts tracks one tenant's batch terminal states.
+type tenantCounts struct {
+	submitted, completed, shed, deadLettered int
+}
+
+// bumpTenant returns (creating on first use) a tenant's counter row;
+// untenanted batches ("" tag) are not tracked, so single-tenant runs
+// carry no tenant machinery at all.
+func bumpTenant(m *map[string]*tenantCounts, tenant string) *tenantCounts {
+	if tenant == "" {
+		return nil
+	}
+	if *m == nil {
+		*m = map[string]*tenantCounts{}
+	}
+	c := (*m)[tenant]
+	if c == nil {
+		c = &tenantCounts{}
+		(*m)[tenant] = c
+	}
+	return c
 }
 
 // NewDispatcher builds a fleet from node configs. It owns the shared
@@ -181,6 +208,9 @@ func (d *Dispatcher) Submit(b *runtime.Batch) error {
 	d.trk[b.ID] = tr
 	d.pending++
 	d.submitted++
+	if c := bumpTenant(&d.tenants, b.Tenant); c != nil {
+		c.submitted++
+	}
 	if b.Arrival > d.lastArrival {
 		d.lastArrival = b.Arrival
 	}
@@ -246,6 +276,9 @@ func (d *Dispatcher) dispatch(b *runtime.Batch, attempt int, avoid *Node) {
 		}
 		if d.finish(tr) {
 			d.shed++
+			if c := bumpTenant(&d.tenants, b.Tenant); c != nil {
+				c.shed++
+			}
 		}
 		return
 	}
@@ -279,6 +312,9 @@ func (d *Dispatcher) onResult(n *Node, res runtime.BatchResult, err error) {
 		}
 		if d.finish(tr) {
 			d.completed++
+			if c := bumpTenant(&d.tenants, tr.b.Tenant); c != nil {
+				c.completed++
+			}
 		}
 		return
 	}
@@ -289,6 +325,9 @@ func (d *Dispatcher) onResult(n *Node, res runtime.BatchResult, err error) {
 		// re-dispatch budget; the batch is lost to the dead letter queue.
 		if d.finish(tr) {
 			d.deadLettered++
+			if c := bumpTenant(&d.tenants, tr.b.Tenant); c != nil {
+				c.deadLettered++
+			}
 		}
 		return
 	}
@@ -320,7 +359,26 @@ type NodeSummary struct {
 	Failures    int    // exec errors + timeouts attributed to the node
 	Crashes     int    // injected crash events
 	ArraysLost  int    // arrays still lost at end of run
+	// LostByTarget breaks ArraysLost down per layer, indexed by
+	// isa.Target — the array-granular view of the node's degradation.
+	LostByTarget [isa.NumTargets]int
 }
+
+// TenantSummary is one tenant's slice of a fleet run: batch terminal
+// states plus the latency digest of its completed batches.
+type TenantSummary struct {
+	Tenant       string
+	Submitted    int
+	Completed    int
+	Shed         int
+	DeadLettered int
+	MeanLatMs    float64
+	P99LatMs     float64
+}
+
+// Accounted sums the tenant's terminal states; conservation demands it
+// equal Submitted on every drained run.
+func (t TenantSummary) Accounted() int { return t.Completed + t.Shed + t.DeadLettered }
 
 // Summary aggregates a fleet run: admission counters, fleet-wide
 // latency and queue-delay percentiles, and per-node utilization.
@@ -342,6 +400,9 @@ type Summary struct {
 	P50QueMs     float64
 	P99QueMs     float64
 	Nodes        []NodeSummary
+	// Tenants holds one row per tenant (sorted by name) when the run
+	// carried tenant-tagged batches; empty otherwise.
+	Tenants []TenantSummary
 }
 
 // Accounted sums the terminal states; conservation demands it equal
@@ -365,7 +426,25 @@ func (s Summary) String() string {
 		if n.Health != "" {
 			fmt.Fprintf(&sb, " health=%s failures=%d crashes=%d lost=%d", n.Health, n.Failures, n.Crashes, n.ArraysLost)
 		}
+		if n.ArraysLost > 0 {
+			sb.WriteString(" lost-by[")
+			first := true
+			for _, t := range isa.Targets {
+				if c := n.LostByTarget[int(t)]; c > 0 {
+					if !first {
+						sb.WriteString(" ")
+					}
+					fmt.Fprintf(&sb, "%s=%d", t, c)
+					first = false
+				}
+			}
+			sb.WriteString("]")
+		}
 		sb.WriteString("\n")
+	}
+	for _, t := range s.Tenants {
+		fmt.Fprintf(&sb, "  tenant %-6s submitted=%-4d completed=%-4d shed=%d dead=%d mean-lat=%.3fms p99=%.3fms\n",
+			t.Tenant, t.Submitted, t.Completed, t.Shed, t.DeadLettered, t.MeanLatMs, t.P99LatMs)
 	}
 	sb.WriteString(")")
 	return sb.String()
@@ -380,14 +459,26 @@ type nodeRollup struct {
 	rt                            runtime.Summary
 	busy                          event.Time
 	failures, crashes, arraysLost int
+	lostByTarget                  [isa.NumTargets]int
 	health                        string // "" outside failure-aware mode
 }
 
+// lostRollup snapshots a system's per-target lost-array counts for the
+// fleet summary.
+func lostRollup(sys *sched.System) (lost [isa.NumTargets]int) {
+	for t := range sys.Layers {
+		lost[int(t)] = sys.Lost(t)
+	}
+	return lost
+}
+
 // summarize folds per-node rollups into s — makespan, per-node lines,
-// utilization, and fleet-wide latency/queue percentiles. s arrives with
-// the policy name and admission counters already filled in.
-func summarize(s Summary, rollups []nodeRollup) Summary {
+// utilization, fleet-wide latency/queue percentiles, and per-tenant
+// rows when the run carried tenant-tagged batches. s arrives with the
+// policy name and admission counters already filled in.
+func summarize(s Summary, rollups []nodeRollup, tenants map[string]*tenantCounts) Summary {
 	var lats, queues []float64
+	tenantLats := map[string][]float64{}
 	for _, r := range rollups {
 		if r.rt.Makespan > s.Makespan {
 			s.Makespan = r.rt.Makespan
@@ -395,11 +486,15 @@ func summarize(s Summary, rollups []nodeRollup) Summary {
 		s.Nodes = append(s.Nodes, NodeSummary{
 			Name: r.name, Batches: r.rt.Batches, BusyTime: r.busy, MeanLatMs: r.rt.MeanLatMs,
 			Failures: r.failures, Crashes: r.crashes, ArraysLost: r.arraysLost,
-			Health: r.health,
+			LostByTarget: r.lostByTarget,
+			Health:       r.health,
 		})
 		for _, res := range r.rt.Results {
 			lats = append(lats, res.Latency().Millis())
 			queues = append(queues, res.QueueDelay().Millis())
+			if res.Tenant != "" {
+				tenantLats[res.Tenant] = append(tenantLats[res.Tenant], res.Latency().Millis())
+			}
 		}
 	}
 	for i := range s.Nodes {
@@ -414,6 +509,32 @@ func summarize(s Summary, rollups []nodeRollup) Summary {
 	s.P99LatMs = lat.P99
 	s.P50QueMs = que.P50
 	s.P99QueMs = que.P99
+	if len(tenants) > 0 || len(tenantLats) > 0 {
+		names := map[string]bool{}
+		for k := range tenants {
+			names[k] = true
+		}
+		for k := range tenantLats {
+			names[k] = true
+		}
+		order := make([]string, 0, len(names))
+		for k := range names {
+			order = append(order, k)
+		}
+		sort.Strings(order)
+		for _, name := range order {
+			c := tenants[name]
+			if c == nil {
+				c = &tenantCounts{}
+			}
+			tl := stats.SummarizeLatency(tenantLats[name])
+			s.Tenants = append(s.Tenants, TenantSummary{
+				Tenant: name, Submitted: c.submitted, Completed: c.completed,
+				Shed: c.shed, DeadLettered: c.deadLettered,
+				MeanLatMs: tl.Mean, P99LatMs: tl.P99,
+			})
+		}
+	}
 	return s
 }
 
@@ -430,11 +551,12 @@ func (d *Dispatcher) Run() Summary {
 		r := nodeRollup{
 			name: n.Name, rt: n.rt.Summarize(), busy: n.busy,
 			failures: n.failures, crashes: n.crashes, arraysLost: n.arraysLost,
+			lostByTarget: lostRollup(n.Sys),
 		}
 		if d.faults != nil {
 			r.health = n.Health().String()
 		}
 		rollups = append(rollups, r)
 	}
-	return summarize(s, rollups)
+	return summarize(s, rollups, d.tenants)
 }

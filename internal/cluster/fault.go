@@ -343,6 +343,9 @@ func (d *Dispatcher) redispatch(tr *tracker, avoid *Node) {
 	if tr.redispatches >= d.faults.maxRedispatch() {
 		if d.finish(tr) {
 			d.deadLettered++
+			if c := bumpTenant(&d.tenants, tr.b.Tenant); c != nil {
+				c.deadLettered++
+			}
 		}
 		return
 	}

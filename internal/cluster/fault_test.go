@@ -247,7 +247,7 @@ func TestCircuitBreakerEjectsAndRecovers(t *testing.T) {
 func TestArrayFaultForcesKneeResearch(t *testing.T) {
 	d := NewDispatcher(NewRoundRobin(), Admission{}, fullNode("solo"))
 	n := d.Nodes()[0]
-	healthy := n.Sys.Layers[isa.SRAM].Capacity
+	healthy := n.Sys.Layers[isa.SRAM].Capacity()
 	plan := &fault.Plan{ArrayFaults: []fault.ArrayFault{{
 		Node: "solo", Target: isa.SRAM, Fraction: 0.9,
 		At: 200 * event.Microsecond, Recover: 5 * event.Millisecond,
@@ -258,7 +258,7 @@ func TestArrayFaultForcesKneeResearch(t *testing.T) {
 	sawDegraded := false
 	d.Engine().At(event.Millisecond, func() {
 		sawDegraded = n.Health() == Degraded
-		if got := n.Sys.Layers[isa.SRAM].Capacity; got >= healthy {
+		if got := n.Sys.Layers[isa.SRAM].Capacity(); got >= healthy {
 			t.Errorf("capacity %d not degraded at 1ms", got)
 		}
 	})
@@ -275,9 +275,9 @@ func TestArrayFaultForcesKneeResearch(t *testing.T) {
 	if !sawDegraded {
 		t.Error("node never reported Degraded during the outage")
 	}
-	if n.Sys.Layers[isa.SRAM].Capacity != healthy || n.ArraysLost() != 0 {
+	if n.Sys.Layers[isa.SRAM].Capacity() != healthy || n.ArraysLost() != 0 {
 		t.Errorf("capacity %d / lost %d after recovery, want %d / 0",
-			n.Sys.Layers[isa.SRAM].Capacity, n.ArraysLost(), healthy)
+			n.Sys.Layers[isa.SRAM].Capacity(), n.ArraysLost(), healthy)
 	}
 }
 

@@ -68,6 +68,7 @@ type ShardedDispatcher struct {
 	deadLettered int
 	execErrors   int
 	timeouts     int
+	tenants      map[string]*tenantCounts
 }
 
 // shardNode binds one real node to its shard. tokens and attempts are
@@ -219,6 +220,9 @@ func (d *ShardedDispatcher) Submit(b *runtime.Batch) error {
 	d.trk[b.ID] = tr
 	d.pending++
 	d.submitted++
+	if c := bumpTenant(&d.tenants, b.Tenant); c != nil {
+		c.submitted++
+	}
 	if b.Arrival > d.lastArrival {
 		d.lastArrival = b.Arrival
 	}
@@ -260,6 +264,9 @@ func (d *ShardedDispatcher) Inject(b *runtime.Batch) error {
 	d.trk[b.ID] = tr
 	d.pending++
 	d.submitted++
+	if c := bumpTenant(&d.tenants, b.Tenant); c != nil {
+		c.submitted++
+	}
 	if now := d.hub.Engine().Now(); now > d.lastArrival {
 		d.lastArrival = now
 	}
@@ -317,13 +324,23 @@ func (d *ShardedDispatcher) settle(tr *tracker, o Outcome, node string, res runt
 	if !d.finish(tr) {
 		return false
 	}
+	c := bumpTenant(&d.tenants, tr.b.Tenant)
 	switch o {
 	case OutcomeCompleted:
 		d.completed++
+		if c != nil {
+			c.completed++
+		}
 	case OutcomeShed:
 		d.shed++
+		if c != nil {
+			c.shed++
+		}
 	default:
 		d.deadLettered++
+		if c != nil {
+			c.deadLettered++
+		}
 	}
 	if d.onDone != nil {
 		d.onDone(DoneInfo{Batch: tr.b, Outcome: o, At: d.hub.Engine().Now(), Node: node, Result: res})
@@ -719,11 +736,12 @@ func (d *ShardedDispatcher) Run() Summary {
 		r := nodeRollup{
 			name: sn.node.Name, rt: sn.node.rt.Summarize(), busy: sn.node.busy,
 			failures: v.failures, crashes: sn.node.crashes, arraysLost: sn.node.arraysLost,
+			lostByTarget: lostRollup(sn.node.Sys),
 		}
 		if d.faults != nil {
 			r.health = mergedHealth(sn.node, v).String()
 		}
 		rollups = append(rollups, r)
 	}
-	return summarize(s, rollups)
+	return summarize(s, rollups, d.tenants)
 }

@@ -48,7 +48,7 @@ func ablKnee() *Result {
 		knee := sys.KneeAlloc(j, isa.SRAM)
 		// argmin by scan of the same grid the knee finder uses.
 		bestM, bestT := 1, sys.ModelTime(j, isa.SRAM, 1)
-		for m := 1; m <= sys.Layers[isa.SRAM].Capacity; m *= 2 {
+		for m := 1; m <= sys.Layers[isa.SRAM].Capacity(); m *= 2 {
 			if tt := sys.ModelTime(j, isa.SRAM, m); tt < bestT {
 				bestT, bestM = tt, m
 			}

@@ -127,7 +127,7 @@ func stressBatch(rng *rand.Rand, sys *sched.System, n int, sigma float64) []*sch
 			if t == pref {
 				factor = 0.5 + rng.Float64()*0.5
 			}
-			ru := int(frac * float64(sys.Layers[t].Capacity))
+			ru := int(frac * float64(sys.Layers[t].Capacity()))
 			if ru < 1 {
 				ru = 1
 			}

@@ -4,13 +4,13 @@ import "testing"
 
 // TestFleetExperimentsSerialParallelIdentical is the fleet determinism
 // acceptance test: the experiments that drive the conservative-parallel
-// fleet simulation — the cluster policy sweep, the fault sweep, and the
-// open-loop serving front end — must produce byte-identical artefacts
-// at 1 and 4 shard workers. Run with -race this doubles as the
-// data-race check on the window workers.
+// fleet simulation — the cluster policy sweep, the fault sweep, the
+// open-loop serving front end, and the multi-tenant sweep — must
+// produce byte-identical artefacts at 1 and 4 shard workers. Run with
+// -race this doubles as the data-race check on the window workers.
 func TestFleetExperimentsSerialParallelIdentical(t *testing.T) {
 	defer SetSimWorkers(SimWorkers())
-	for _, id := range []string{"cluster", "faults", "serving"} {
+	for _, id := range []string{"cluster", "faults", "serving", "multitenant"} {
 		e, ok := ByID(id)
 		if !ok {
 			t.Fatalf("experiment %q not registered", id)

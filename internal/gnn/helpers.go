@@ -14,8 +14,8 @@ func clampArrays(sys *sched.System, t isa.Target, arrays int) int {
 	if arrays < 1 {
 		return 1
 	}
-	if l, ok := sys.Layers[t]; ok && arrays > l.Capacity {
-		return l.Capacity
+	if l, ok := sys.Layers[t]; ok && arrays > l.Capacity() {
+		return l.Capacity()
 	}
 	return arrays
 }

@@ -38,6 +38,10 @@ const (
 	numTargets
 )
 
+// NumTargets is the number of compilation targets — the length of any
+// dense per-target array indexed by Target.
+const NumTargets = int(numTargets)
+
 // Targets lists all compilation targets.
 var Targets = []Target{SRAM, DRAM, ReRAM}
 

@@ -8,12 +8,25 @@ package mem
 // This is the device-side half of the fleet fault plan
 // (internal/fault); schedulers observe the shrunk capacity through
 // FreeArrays/CapacityArrays and re-plan.
+//
+// Failures are tracked at array granularity: the allocatable IDs are
+// [0, universe), and the failed region is always the top `failed` IDs
+// of that range. Failing takes the highest live IDs; repairing returns
+// the most recently failed IDs first (LIFO by construction), so a
+// fail/repair round trip names exactly the same physical arrays.
 
-// FailArrays takes n arrays out of service. Free arrays fail now;
-// any remainder is debited lazily as granted allocations release.
-func (d *Device) FailArrays(n int) {
+// Span is a half-open range [Lo, Hi) of physical array IDs.
+type Span struct{ Lo, Hi int }
+
+// Count returns the number of IDs in the span.
+func (s Span) Count() int { return s.Hi - s.Lo }
+
+// FailArrays takes n arrays out of service and returns the span of
+// newly failed IDs. Free arrays fail now; any remainder is debited
+// lazily as granted allocations release.
+func (d *Device) FailArrays(n int) Span {
 	if n <= 0 {
-		return
+		return Span{}
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -26,16 +39,19 @@ func (d *Device) FailArrays(n int) {
 	}
 	d.free -= take
 	d.pendingFail += n - take
+	before := d.failed
 	d.failed += n
+	return Span{Lo: d.universe - d.failed, Hi: d.universe - before}
 }
 
 // RepairArrays returns n previously failed arrays to service (spare
-// remapping / scrubbing succeeded). Pending-but-uncollected failures
-// are cancelled first; actually-collected arrays return to the free
-// pool.
-func (d *Device) RepairArrays(n int) {
+// remapping / scrubbing succeeded) and reports the span of repaired
+// IDs — the most recently failed ones. Pending-but-uncollected
+// failures are cancelled first; actually-collected arrays return to
+// the free pool.
+func (d *Device) RepairArrays(n int) Span {
 	if n <= 0 {
-		return
+		return Span{}
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -48,7 +64,9 @@ func (d *Device) RepairArrays(n int) {
 	}
 	d.pendingFail -= cancel
 	d.free += n - cancel
+	before := d.failed
 	d.failed -= n
+	return Span{Lo: d.universe - before, Hi: d.universe - d.failed}
 }
 
 // FailedArrays returns the number of arrays currently out of service.
@@ -56,6 +74,14 @@ func (d *Device) FailedArrays() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.failed
+}
+
+// FailedIDs returns the span of array IDs currently out of service:
+// the top FailedArrays() IDs of the allocatable range.
+func (d *Device) FailedIDs() Span {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return Span{Lo: d.universe - d.failed, Hi: d.universe}
 }
 
 // capLocked is CapacityArrays without the lock: the arrays that remain

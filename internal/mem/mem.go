@@ -119,11 +119,12 @@ func (a *Allocation) Bytes() int64 {
 type Device struct {
 	Config Config
 
-	mu      sync.Mutex
-	free    int
-	jobs    int
-	nextID  int64
-	granted map[int64]int
+	mu       sync.Mutex
+	universe int // allocatable IDs are [0, universe); reserve sits above
+	free     int
+	jobs     int
+	nextID   int64
+	granted  map[int64]int
 
 	// Failure-injection state (fault.go): arrays out of service, and the
 	// portion still held by running jobs, to be collected on Release.
@@ -138,7 +139,8 @@ func NewDevice(c Config, reserve int) *Device {
 	if reserve < 0 || reserve >= c.NumArrays {
 		panic("mem: invalid reservation")
 	}
-	return &Device{Config: c, free: c.NumArrays - reserve, granted: make(map[int64]int)}
+	u := c.NumArrays - reserve
+	return &Device{Config: c, universe: u, free: u, granted: make(map[int64]int)}
 }
 
 // FreeArrays returns the number of currently unallocated arrays.

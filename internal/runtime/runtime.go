@@ -33,10 +33,14 @@ var ErrEmptyBatch = errors.New("runtime: empty batch")
 // ErrNilBatch rejects a nil batch.
 var ErrNilBatch = errors.New("runtime: nil batch")
 
-// Batch is one arriving unit of work.
+// Batch is one arriving unit of work. Tenant, when non-empty, names
+// the tenant the batch belongs to; the runtime stamps it onto the
+// batch's jobs before scheduling so the scheduler can pack tenants
+// onto disjoint array sets.
 type Batch struct {
 	ID      int
 	Arrival event.Time
+	Tenant  string
 	Jobs    []*sched.Job
 }
 
@@ -44,6 +48,7 @@ type Batch struct {
 type BatchResult struct {
 	ID        int
 	Arrival   event.Time
+	Tenant    string
 	Start     event.Time // when the scheduler picked it up
 	Completed event.Time
 	// Assignments is the per-job placement of the batch's schedule
@@ -257,6 +262,11 @@ func (r *Runtime) pump() {
 	if r.OnStart != nil {
 		r.OnStart(b, start)
 	}
+	if b.Tenant != "" {
+		for _, j := range b.Jobs {
+			j.Tenant = b.Tenant
+		}
+	}
 	res := r.Scheduler.Schedule(r.Sys, b.Jobs)
 	r.eng.After(res.Makespan, func() {
 		if r.gen != myGen {
@@ -265,7 +275,8 @@ func (r *Runtime) pump() {
 		r.running = nil
 		r.busy = false
 		done := BatchResult{
-			ID: b.ID, Arrival: b.Arrival, Start: start, Completed: r.eng.Now(),
+			ID: b.ID, Arrival: b.Arrival, Tenant: b.Tenant,
+			Start: start, Completed: r.eng.Now(),
 		}
 		if r.KeepAssignments {
 			done.Assignments = res.Assignments

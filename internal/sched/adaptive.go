@@ -41,7 +41,7 @@ type queues map[isa.Target][]*queueItem
 // migrations.
 func planAlloc(sys *System, j *Job, t isa.Target) int {
 	l := sys.Layers[t]
-	fair := usefulCap(j, t, l.Capacity/l.Slots)
+	fair := usefulCap(j, t, l.Capacity()/l.Slots)
 	knee := sys.KneeAlloc(j, t)
 	a := knee
 	if fair > a && float64(sys.ModelTime(j, t, fair)) < float64(sys.ModelTime(j, t, knee)) {
@@ -87,7 +87,7 @@ func usefulCap(j *Job, t isa.Target, arrays int) int {
 
 // clampAlloc bounds an allocation to what the layer can ever grant.
 func clampAlloc(sys *System, t isa.Target, arrays int) int {
-	if c := sys.Layers[t].Capacity; arrays > c {
+	if c := sys.Layers[t].Capacity(); arrays > c {
 		arrays = c
 	}
 	if arrays < 1 {
@@ -310,7 +310,7 @@ func (a *Adaptive) Name() string { return "adaptive" }
 func (a *Adaptive) Schedule(sys *System, jobs []*Job) *Result {
 	qs := partition(sys, jobs)
 	interQueueAdjust(sys, qs, a.Opts)
-	return dispatchWith(sys, qs, dispatchOpts{opportunistic: true, expand: true, rebalance: &a.Opts})
+	return dispatchWith(sys, qs, jobs, dispatchOpts{opportunistic: true, expand: true, rebalance: &a.Opts})
 }
 
 // dispatchOpts selects dispatch behaviour: opportunistic remainder fill
@@ -330,9 +330,10 @@ type dispatchOpts struct {
 }
 
 // dispatchWith executes per-layer queues greedily under the given
-// behaviour flags.
-func dispatchWith(sys *System, qs queues, o dispatchOpts) *Result {
-	st := newSim(sys)
+// behaviour flags. The original job slice rides along so the simulation
+// state derives tenant pools in deterministic (submission) order.
+func dispatchWith(sys *System, qs queues, jobs []*Job, o dispatchOpts) *Result {
+	st := newSim(sys, jobs)
 	st.estMode = o.estMode
 	// Sort every queue descending by estimated time (larger jobs first).
 	for _, t := range sys.Targets() {
@@ -362,28 +363,29 @@ func dispatchWith(sys *System, qs queues, o dispatchOpts) *Result {
 				// the global scheduler "adjusts the allocation size in
 				// each queue to fully utilize the resources", and idle
 				// arrays are pure waste under the monotone model.
-				grant := it.arrays
+				grant := minInt(it.arrays, st.maxGrant(t, it.job.Tenant))
+				ff := st.freeFor(t, it.job.Tenant)
 				if usable := minInt(st.slots[t], waiting); o.expand && usable > 0 {
 					// Expand only when the model agrees it helps: the
 					// curve is not guaranteed monotone once replication
 					// copy costs enter t_ld, and arrays beyond the
 					// useful-parallelism cap are wasted.
-					fair := usefulCap(it.job, t, st.free[t]/usable)
+					fair := usefulCap(it.job, t, ff/usable)
 					if fair > grant &&
 						sys.ModelTime(it.job, t, fair) < sys.ModelTime(it.job, t, grant) {
 						grant = fair
 					}
 				}
 				switch {
-				case st.canPlace(t, grant):
+				case st.canPlace(t, grant, it.job.Tenant):
 					st.place(it.job, t, grant)
 					pending--
 					waiting--
-				case o.opportunistic && st.slots[t] > 0 && st.free[t] > 0:
+				case o.opportunistic && st.slots[t] > 0 && ff > 0:
 					// Remainder fill: run early with whatever is free if
 					// that still beats waiting for the next completion.
 					if end, ok := st.earliestEnd(t); ok {
-						rem := st.free[t]
+						rem := ff
 						if st.now+sys.ModelTime(it.job, t, rem) < end {
 							st.place(it.job, t, rem)
 							pending--
@@ -411,8 +413,8 @@ func dispatchWith(sys *System, qs queues, o dispatchOpts) *Result {
 				if len(q) == 0 {
 					continue
 				}
-				if st.slots[t] > 0 && st.free[t] > 0 {
-					q[0].arrays = st.free[t]
+				if ff := st.freeFor(t, q[0].job.Tenant); st.slots[t] > 0 && ff > 0 {
+					q[0].arrays = ff
 					stuck = false
 				}
 			}

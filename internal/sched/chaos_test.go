@@ -29,7 +29,7 @@ func chaosSystem(rng *rand.Rand) *System {
 	}
 	sys := NewSystem(targets...)
 	for _, l := range sys.Layers {
-		l.Capacity = 1 + rng.Intn(l.Capacity)
+		l.SetCapacity(1 + rng.Intn(l.Capacity()))
 		l.Slots = 1 + rng.Intn(8)
 	}
 	return sys
@@ -50,7 +50,7 @@ func chaosJobs(rng *rand.Rand, sys *System, n int) []*Job {
 			t := targets[idx]
 			p := Profile{
 				UnitCycles: 1 + rng.Int63n(1e8),
-				RepUnit:    1 + rng.Intn(sys.Layers[t].Capacity),
+				RepUnit:    1 + rng.Intn(sys.Layers[t].Capacity()),
 				LoadBytes:  rng.Int63n(1 << 22),
 				Beta:       0.3 + rng.Float64()*0.7,
 			}
@@ -112,8 +112,8 @@ func verifyNoOverlapOvercommit(t *testing.T, sys *System, res *Result) {
 		for _, e := range evs {
 			arrays += e.arrays
 			slots += e.slots
-			if arrays > l.Capacity {
-				t.Fatalf("%s: %d arrays in use, capacity %d", tgt, arrays, l.Capacity)
+			if arrays > l.Capacity() {
+				t.Fatalf("%s: %d arrays in use, capacity %d", tgt, arrays, l.Capacity())
 			}
 			if slots > l.Slots {
 				t.Fatalf("%s: %d slots in use, limit %d", tgt, slots, l.Slots)

@@ -21,9 +21,11 @@ import (
 // accumulates access statistics — so plain maps suffice; parallel
 // callers (experiments.RunAll, parallel kernels) each own their System.
 //
-// KneeAlloc additionally keys on the layer capacity, the one mutable
-// input (internal/cluster scales capacities at node construction), so a
-// resized layer can never serve a stale knee.
+// KneeAlloc additionally keys on the canonical signature of the layer's
+// free array set (ArraySet.Signature), the one mutable input
+// (internal/cluster scales capacities at node construction; the fault
+// path decommissions arrays) — so a resized or degraded layer can never
+// serve a stale knee.
 
 type profKey struct {
 	p      Profile
@@ -32,9 +34,9 @@ type profKey struct {
 }
 
 type kneeKey struct {
-	p        Profile
-	t        isa.Target
-	capacity int
+	p   Profile
+	t   isa.Target
+	sig uint64 // free-set signature of the layer at search time
 }
 
 // MaxProfMemoEntries and MaxKneeMemoEntries bound the memo maps. The
@@ -85,31 +87,31 @@ func (s *System) memoProfileTime(p Profile, t isa.Target, arrays int) event.Time
 }
 
 // memoKneeAlloc answers KneeAlloc from the memo, keyed by the layer's
-// current capacity.
-func (s *System) memoKneeAlloc(p Profile, t isa.Target, capacity int) (int, bool) {
-	if v, ok := s.kneeMemo[kneeKey{p: p, t: t, capacity: capacity}]; ok {
+// current free-set signature.
+func (s *System) memoKneeAlloc(p Profile, t isa.Target, sig uint64) (int, bool) {
+	if v, ok := s.kneeMemo[kneeKey{p: p, t: t, sig: sig}]; ok {
 		s.cacheStats.KneeHits++
 		return v, true
 	}
 	return 0, false
 }
 
-func (s *System) storeKneeAlloc(p Profile, t isa.Target, capacity, alloc int) {
+func (s *System) storeKneeAlloc(p Profile, t isa.Target, sig uint64, alloc int) {
 	if s.kneeMemo == nil {
 		s.kneeMemo = make(map[kneeKey]int, 64)
 	} else if len(s.kneeMemo) >= MaxKneeMemoEntries {
 		clear(s.kneeMemo)
 		s.cacheStats.Clears++
 	}
-	s.kneeMemo[kneeKey{p: p, t: t, capacity: capacity}] = alloc
+	s.kneeMemo[kneeKey{p: p, t: t, sig: sig}] = alloc
 	s.cacheStats.KneeMisses++
 }
 
-// clearKneeMemo generation-clears the knee memo after a capacity
-// change: entries keyed by capacities the layer has left behind can
-// only be hit again if that exact capacity returns, so Degrade/Restore
+// clearKneeMemo generation-clears the knee memo after a free-set
+// change: entries keyed by signatures the layer has left behind can
+// only be hit again if that exact set returns, so Degrade/Restore
 // drops them wholesale rather than letting a churning fault plan strand
-// one map generation per capacity value.
+// one map generation per free-set it visits.
 func (s *System) clearKneeMemo() {
 	if len(s.kneeMemo) == 0 {
 		return

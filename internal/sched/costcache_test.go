@@ -56,7 +56,7 @@ func TestKneeAllocMemo(t *testing.T) {
 	}
 	// Shrink the layer: the memo must miss and the knee must respect
 	// the new capacity.
-	sys.Layers[isa.SRAM].Capacity = 2
+	sys.Layers[isa.SRAM].SetCapacity(2)
 	k3 := sys.KneeAlloc(j, isa.SRAM)
 	if k3 > 2 {
 		t.Fatalf("knee %d exceeds shrunk capacity 2", k3)

@@ -2,81 +2,108 @@ package sched
 
 import "mlimp/internal/isa"
 
-// Capacity degradation. When arrays fail in the field (internal/fault),
-// the scheduler must re-plan against the shrunk layer rather than keep
-// issuing knee-sized allocations the device can no longer grant.
-// Because KneeAlloc is memoized per (profile, target, capacity), the
-// next lookup after a Degrade/Restore misses under the new capacity key
-// and re-runs the knee search on the degraded curve; the entries keyed
-// by the abandoned capacity are generation-cleared so the memo stays
-// bounded across long fault-churning sweeps (see costcache.go).
+// Array-granular capacity degradation. When arrays fail in the field
+// (internal/fault), the scheduler must re-plan against the shrunk layer
+// rather than keep issuing knee-sized allocations the device can no
+// longer grant. Degrade names the exact physical IDs it decommissions —
+// deterministically, the highest in-service IDs first, mirroring
+// mem.FailArrays — and pushes each removed set onto a LIFO stack, so
+// Restore returns precisely the IDs that were lost. Because KneeAlloc
+// is memoized per (profile, target, free-set signature), the next
+// lookup after a Degrade/Restore misses under the new signature and
+// re-runs the knee search on the degraded curve; stale entries are
+// generation-cleared so the memo stays bounded across long
+// fault-churning sweeps (see costcache.go).
 
 // Degrade removes n arrays from layer t, flooring the layer at one
 // array so jobs that only run there remain schedulable (slowly) rather
-// than unroutable. It returns the number of arrays actually removed.
+// than unroutable. The highest in-service IDs are decommissioned first.
+// It returns the number of arrays actually removed; DegradedIDs names
+// them.
 func (s *System) Degrade(t isa.Target, n int) int {
 	l, ok := s.Layers[t]
 	if !ok || n <= 0 {
 		return 0
 	}
-	if s.healthyCap == nil {
-		s.healthyCap = map[isa.Target]int{}
-		s.lostArrays = map[isa.Target]int{}
+	if max := l.avail.Count() - 1; n > max {
+		n = max
 	}
-	if _, seen := s.healthyCap[t]; !seen {
-		s.healthyCap[t] = l.Capacity
-	}
-	newCap := l.Capacity - n
-	if newCap < 1 {
-		newCap = 1
-	}
-	removed := l.Capacity - newCap
-	l.Capacity = newCap
-	s.lostArrays[t] += removed
-	if removed > 0 {
-		s.clearKneeMemo()
-	}
-	return removed
-}
-
-// Restore returns n previously lost arrays to layer t (bounded by what
-// is actually lost, so capacity can never exceed the healthy baseline).
-// It returns the number of arrays actually restored.
-func (s *System) Restore(t isa.Target, n int) int {
-	l, ok := s.Layers[t]
-	if !ok || n <= 0 || s.lostArrays[t] == 0 {
+	if n <= 0 {
 		return 0
 	}
-	if n > s.lostArrays[t] {
-		n = s.lostArrays[t]
-	}
-	l.Capacity += n
-	s.lostArrays[t] -= n
+	removed := l.avail.TakeHighest(n)
+	l.lost = append(l.lost, removed)
+	l.sig = l.avail.Signature()
 	s.clearKneeMemo()
 	return n
 }
 
-// Lost returns the arrays of layer t currently lost to faults.
-func (s *System) Lost(t isa.Target) int { return s.lostArrays[t] }
+// Restore returns n previously lost arrays to layer t (bounded by what
+// is actually lost, so capacity can never exceed the healthy baseline).
+// Sets come back in LIFO order — the exact IDs the matching Degrade
+// removed. It returns the number of arrays actually restored.
+func (s *System) Restore(t isa.Target, n int) int {
+	l, ok := s.Layers[t]
+	if !ok || n <= 0 || len(l.lost) == 0 {
+		return 0
+	}
+	restored := 0
+	for n > 0 && len(l.lost) > 0 {
+		top := &l.lost[len(l.lost)-1]
+		if c := top.Count(); c <= n {
+			l.avail.Add(*top)
+			l.lost = l.lost[:len(l.lost)-1]
+			n -= c
+			restored += c
+		} else {
+			l.avail.Add(top.TakeHighest(n))
+			restored += n
+			n = 0
+		}
+	}
+	l.sig = l.avail.Signature()
+	s.clearKneeMemo()
+	return restored
+}
+
+// DegradedIDs returns the array IDs of layer t currently out of
+// service, across every outstanding Degrade.
+func (s *System) DegradedIDs(t isa.Target) ArraySet {
+	l, ok := s.Layers[t]
+	if !ok {
+		return ArraySet{}
+	}
+	var out ArraySet
+	for _, set := range l.lost {
+		out.Add(set)
+	}
+	return out
+}
+
+// Lost returns the number of arrays of layer t currently lost to
+// faults.
+func (s *System) Lost(t isa.Target) int {
+	l, ok := s.Layers[t]
+	if !ok {
+		return 0
+	}
+	return l.universe - l.avail.Count()
+}
 
 // LostTotal returns the arrays lost to faults across all layers.
 func (s *System) LostTotal() int {
 	total := 0
-	for _, n := range s.lostArrays {
-		total += n
+	for t := range s.Layers {
+		total += s.Lost(t)
 	}
 	return total
 }
 
-// HealthyCapacity returns layer t's fault-free capacity: the baseline
-// captured at the first Degrade, or the current capacity if the layer
-// has never been degraded.
+// HealthyCapacity returns layer t's fault-free capacity: every array
+// the layer owns, in service or not.
 func (s *System) HealthyCapacity(t isa.Target) int {
-	if n, ok := s.healthyCap[t]; ok {
-		return n
-	}
 	if l, ok := s.Layers[t]; ok {
-		return l.Capacity
+		return l.universe
 	}
 	return 0
 }

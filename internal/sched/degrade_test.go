@@ -15,7 +15,7 @@ func degradeJob() *Job {
 func TestDegradeTriggersKneeResearch(t *testing.T) {
 	sys := NewSystem(isa.SRAM)
 	j := degradeJob()
-	healthyCap := sys.Layers[isa.SRAM].Capacity
+	healthyCap := sys.Layers[isa.SRAM].Capacity()
 	kneeHealthy := sys.KneeAlloc(j, isa.SRAM)
 	timeHealthy := sys.ModelTime(j, isa.SRAM, kneeHealthy)
 
@@ -23,8 +23,8 @@ func TestDegradeTriggersKneeResearch(t *testing.T) {
 	if removed != healthyCap-4 {
 		t.Fatalf("Degrade removed %d, want %d", removed, healthyCap-4)
 	}
-	if sys.Layers[isa.SRAM].Capacity != 4 {
-		t.Fatalf("degraded capacity = %d, want 4", sys.Layers[isa.SRAM].Capacity)
+	if sys.Layers[isa.SRAM].Capacity() != 4 {
+		t.Fatalf("degraded capacity = %d, want 4", sys.Layers[isa.SRAM].Capacity())
 	}
 	kneeDegraded := sys.KneeAlloc(j, isa.SRAM)
 	if kneeDegraded > 4 {
@@ -40,8 +40,8 @@ func TestDegradeTriggersKneeResearch(t *testing.T) {
 	if sys.Restore(isa.SRAM, healthyCap) != healthyCap-4 {
 		t.Error("Restore not clamped to lost arrays")
 	}
-	if sys.Layers[isa.SRAM].Capacity != healthyCap {
-		t.Errorf("restored capacity = %d, want %d", sys.Layers[isa.SRAM].Capacity, healthyCap)
+	if sys.Layers[isa.SRAM].Capacity() != healthyCap {
+		t.Errorf("restored capacity = %d, want %d", sys.Layers[isa.SRAM].Capacity(), healthyCap)
 	}
 	if knee := sys.KneeAlloc(j, isa.SRAM); knee != kneeHealthy {
 		t.Errorf("restored knee = %d, want memoized %d", knee, kneeHealthy)
@@ -50,12 +50,12 @@ func TestDegradeTriggersKneeResearch(t *testing.T) {
 
 func TestDegradeFloorsAtOneArray(t *testing.T) {
 	sys := NewSystem(isa.ReRAM)
-	cap0 := sys.Layers[isa.ReRAM].Capacity
+	cap0 := sys.Layers[isa.ReRAM].Capacity()
 	if removed := sys.Degrade(isa.ReRAM, cap0*10); removed != cap0-1 {
 		t.Errorf("over-degrade removed %d, want %d", removed, cap0-1)
 	}
-	if sys.Layers[isa.ReRAM].Capacity != 1 {
-		t.Errorf("floored capacity = %d, want 1", sys.Layers[isa.ReRAM].Capacity)
+	if sys.Layers[isa.ReRAM].Capacity() != 1 {
+		t.Errorf("floored capacity = %d, want 1", sys.Layers[isa.ReRAM].Capacity())
 	}
 	if sys.Lost(isa.ReRAM) != cap0-1 || sys.LostTotal() != cap0-1 {
 		t.Errorf("Lost = %d / total %d, want %d", sys.Lost(isa.ReRAM), sys.LostTotal(), cap0-1)
@@ -79,7 +79,7 @@ func TestDegradeAbsentAndNoops(t *testing.T) {
 	if sys.HealthyCapacity(isa.DRAM) != 0 {
 		t.Error("HealthyCapacity of an absent layer nonzero")
 	}
-	if sys.HealthyCapacity(isa.SRAM) != sys.Layers[isa.SRAM].Capacity {
+	if sys.HealthyCapacity(isa.SRAM) != sys.Layers[isa.SRAM].Capacity() {
 		t.Error("HealthyCapacity of an untouched layer differs from current")
 	}
 }

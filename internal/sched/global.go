@@ -35,13 +35,13 @@ func (g *Global) Schedule(sys *System, jobs []*Job) *Result {
 	// estimates, then execute it rigidly: per-layer order and
 	// allocations are fixed, so bubbles appear exactly when the
 	// estimates were wrong (the Section V-B3 noise sensitivity).
-	plan := dispatchEst(sys, qs)
-	return executePlan(sys, plan)
+	plan := dispatchEst(sys, qs, jobs)
+	return executePlan(sys, plan, jobs)
 }
 
 // dispatchEst simulates the greedy dispatch entirely on estimated times
 // and returns the per-layer planned order.
-func dispatchEst(sys *System, qs queues) map[isa.Target][]*queueItem {
+func dispatchEst(sys *System, qs queues, jobs []*Job) map[isa.Target][]*queueItem {
 	// Copy the queues: dispatch consumes them. One arena per copy keeps
 	// the per-item heap traffic out of the per-batch hot path.
 	cp := queues{}
@@ -60,7 +60,7 @@ func dispatchEst(sys *System, qs queues) map[isa.Target][]*queueItem {
 		}
 		cp[t] = items
 	}
-	res := dispatchWith(sys, cp, dispatchOpts{expand: true, estMode: true})
+	res := dispatchWith(sys, cp, jobs, dispatchOpts{expand: true, estMode: true})
 	planArena := make([]queueItem, len(res.Assignments))
 	plan := map[isa.Target][]*queueItem{}
 	for i, a := range res.Assignments {
@@ -93,8 +93,8 @@ func sortItemsByKey(q []*queueItem, key map[int]int64) {
 
 // executePlan runs the fixed plan with actual job durations, starting
 // each layer's jobs strictly in planned order.
-func executePlan(sys *System, plan map[isa.Target][]*queueItem) *Result {
-	st := newSim(sys)
+func executePlan(sys *System, plan map[isa.Target][]*queueItem, jobs []*Job) *Result {
+	st := newSim(sys, jobs)
 	pending := 0
 	for _, q := range plan {
 		pending += len(q)
@@ -104,8 +104,8 @@ func executePlan(sys *System, plan map[isa.Target][]*queueItem) *Result {
 			q := plan[t]
 			for len(q) > 0 {
 				head := q[0]
-				arrays := clampAlloc(sys, t, head.arrays)
-				if !st.canPlace(t, arrays) {
+				arrays := clampAlloc(sys, t, minInt(head.arrays, st.maxGrant(t, head.job.Tenant)))
+				if !st.canPlace(t, arrays, head.job.Tenant) {
 					break
 				}
 				st.place(head.job, t, arrays)
@@ -126,7 +126,7 @@ func executePlan(sys *System, plan map[isa.Target][]*queueItem) *Result {
 // Algorithm 2 — found by bisection on the monotone model, capped at the
 // layer capacity.
 func invAllocForTime(sys *System, j *Job, t isa.Target, target float64) int {
-	lo, hi := 1, usefulCap(j, t, sys.Layers[t].Capacity)
+	lo, hi := 1, usefulCap(j, t, sys.Layers[t].Capacity())
 	if float64(sys.ModelTime(j, t, hi)) > target {
 		return hi // unreachable even at full capacity
 	}

@@ -75,7 +75,11 @@ type Job struct {
 	// Kind tags the kernel family ("spmm", "gemm", "vadd", or an app
 	// name) for the execution-time breakdowns of Figures 12/13.
 	Kind string
-	Est  map[isa.Target]Profile
+	// Tenant names the workload owner for multi-tenant packing. Jobs of
+	// different tenants are placed on disjoint array sets (see
+	// packing.go); the empty string is the single-tenant default.
+	Tenant string
+	Est    map[isa.Target]Profile
 	// TrueTime returns the actual execution time of the job on target t
 	// with an allocation of arrays arrays.
 	TrueTime func(sys *System, t isa.Target, arrays int) event.Time
@@ -92,22 +96,55 @@ type System struct {
 	Layers map[isa.Target]*Layer
 	DDR    *mainmem.Controller
 
+	// Packing selects the multi-tenant array packing policy applied by
+	// the placement simulation (packing.go). The zero value, PackFirstFit,
+	// reproduces the single-pool behaviour exactly.
+	Packing Packing
+
 	profMemo   map[profKey]event.Time
 	kneeMemo   map[kneeKey]int
 	cacheStats CacheStats
-
-	// Degradation bookkeeping (degrade.go): per-layer healthy baseline
-	// captured at first fault, and arrays currently lost to faults.
-	healthyCap map[isa.Target]int
-	lostArrays map[isa.Target]int
 }
 
-// Layer is one computable memory exposed to the scheduler.
+// Layer is one computable memory exposed to the scheduler. Capacity is
+// array-granular: the layer owns physical array IDs [0, universe), of
+// which avail are currently in service; decommissioned sets live on a
+// LIFO stack so Restore returns exactly the IDs Degrade removed.
 type Layer struct {
-	Cfg      mem.Config
-	Capacity int // allocatable arrays
-	Slots    int // outstanding-job limit
+	Cfg   mem.Config
+	Slots int // outstanding-job limit
+
+	universe int        // physical IDs [0, universe) this layer owns
+	avail    ArraySet   // arrays currently in service
+	sig      uint64     // memo signature of avail (see costcache.go)
+	lost     []ArraySet // decommissioned sets, most recent last
 }
+
+// NewLayer builds a layer owning array IDs [0, arrays).
+func NewLayer(cfg mem.Config, arrays, slots int) *Layer {
+	l := &Layer{Cfg: cfg, Slots: slots}
+	l.SetCapacity(arrays)
+	return l
+}
+
+// Capacity returns the number of arrays currently in service.
+func (l *Layer) Capacity() int { return l.avail.Count() }
+
+// SetCapacity resizes the layer to own array IDs [0, n) with every
+// array in service, discarding any degradation history — the
+// cluster-scaling and test hook, not the fault path (see degrade.go).
+func (l *Layer) SetCapacity(n int) {
+	if n < 0 {
+		n = 0
+	}
+	l.universe = n
+	l.avail = NewRange(0, n)
+	l.lost = nil
+	l.sig = l.avail.Signature()
+}
+
+// Avail returns a copy of the in-service array set.
+func (l *Layer) Avail() ArraySet { return l.avail.Clone() }
 
 // NewSystem builds a system from the given Table III configurations,
 // allocating every array of each device to in-memory compute except the
@@ -120,7 +157,7 @@ func NewSystem(targets ...isa.Target) *System {
 		if t == isa.SRAM {
 			capacity /= 2 // half the LLC stays a general cache
 		}
-		s.Layers[t] = &Layer{Cfg: cfg, Capacity: capacity, Slots: cfg.MaxJobs}
+		s.Layers[t] = NewLayer(cfg, capacity, cfg.MaxJobs)
 	}
 	return s
 }
@@ -267,24 +304,24 @@ const kneeGridPoints = 48
 // time curve t(x,m): the paper picks the m that maximises the angular
 // speed of the tangent to the (normalised) curve, which avoids the
 // overprovisioning that plain argmin produces once the curve flattens.
-// The knee is memoized per (profile, target, capacity) — the grid
-// search below samples the model at kneeGridPoints allocations, and
-// every job of one app shares the same knee.
+// The knee is memoized per (profile, target, free-set signature) — the
+// grid search below samples the model at kneeGridPoints allocations,
+// and every job of one app shares the same knee.
 func (s *System) KneeAlloc(j *Job, t isa.Target) int {
 	p, ok := j.Est[t]
 	if !ok {
 		return 1
 	}
 	l := s.Layers[t]
-	maxM := l.Capacity
+	maxM := l.Capacity()
 	if maxM < 1 {
 		return 1
 	}
-	if knee, ok := s.memoKneeAlloc(p, t, maxM); ok {
+	if knee, ok := s.memoKneeAlloc(p, t, l.sig); ok {
 		return knee
 	}
 	knee := s.kneeSearch(p, t, maxM)
-	s.storeKneeAlloc(p, t, maxM, knee)
+	s.storeKneeAlloc(p, t, l.sig, knee)
 	return knee
 }
 

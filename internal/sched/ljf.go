@@ -30,11 +30,21 @@ func (l LJF) Name() string {
 // aUnit returns the fixed LJF allocation for a layer: max_size / P.
 func aUnit(sys *System, t isa.Target) int {
 	layer := sys.Layers[t]
-	u := layer.Capacity / layer.Slots
+	u := layer.Capacity() / layer.Slots
 	if u < 1 {
 		u = 1
 	}
 	return u
+}
+
+// ljfGrant clamps the fixed unit allocation to what the job's tenant
+// can ever hold on t (multi-tenant packing caps), flooring at one.
+func ljfGrant(sys *System, st *simState, j *Job, t isa.Target) int {
+	g := minInt(aUnit(sys, t), st.maxGrant(t, j.Tenant))
+	if g < 1 {
+		g = 1
+	}
+	return g
 }
 
 // estAtUnit returns the estimated time of j on t at the fixed unit
@@ -48,7 +58,7 @@ func estAtUnit(sys *System, j *Job, t isa.Target) event.Time {
 
 // Schedule implements Scheduler.
 func (l LJF) Schedule(sys *System, jobs []*Job) *Result {
-	st := newSim(sys)
+	st := newSim(sys, jobs)
 	// Single queue, descending estimated time (the descending order of
 	// the shortest execution time across memories).
 	queue := make([]*Job, len(jobs))
@@ -73,7 +83,7 @@ func (l LJF) Schedule(sys *System, jobs []*Job) *Result {
 			progressed = false
 			j := queue[0]
 			if t, ok := l.pick(sys, st, j, best[j.ID]); ok {
-				st.place(j, t, aUnit(sys, t))
+				st.place(j, t, ljfGrant(sys, st, j, t))
 				queue = queue[1:]
 				progressed = true
 			}
@@ -87,7 +97,7 @@ func (l LJF) Schedule(sys *System, jobs []*Job) *Result {
 
 // pick chooses where to run the head job now, if anywhere.
 func (l LJF) pick(sys *System, st *simState, j *Job, bestT isa.Target) (isa.Target, bool) {
-	if st.canPlace(bestT, aUnit(sys, bestT)) {
+	if st.canPlace(bestT, ljfGrant(sys, st, j, bestT), j.Tenant) {
 		return bestT, true
 	}
 	if l.Strict {
@@ -97,7 +107,7 @@ func (l LJF) pick(sys *System, st *simState, j *Job, bestT isa.Target) (isa.Targ
 	var bt isa.Target
 	found := false
 	for _, t := range sys.Targets() {
-		if !st.canPlace(t, aUnit(sys, t)) {
+		if !st.canPlace(t, ljfGrant(sys, st, j, t), j.Tenant) {
 			continue
 		}
 		if v := estAtUnit(sys, j, t); v < bv {

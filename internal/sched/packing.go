@@ -1,0 +1,65 @@
+package sched
+
+import "fmt"
+
+// Multi-tenant array packing. Each job may carry a Tenant tag; the
+// placement simulation (sim.go) grants every placement an explicit
+// ArraySet and guarantees the hard isolation invariant — no array is
+// ever held by two tenants at once — structurally: an array is taken
+// from exactly one pool and returned to the pool it came from. The
+// Packing policy decides how tenants share a layer's arrays:
+//
+//   - PackFirstFit: all tenants draw from one shared free set, lowest
+//     IDs first. Maximum utilisation, no fairness shaping; with a
+//     single tenant this is exactly the scalar-capacity behaviour the
+//     array-set model replaced.
+//   - PackPartitioned: the layer's free set is split into contiguous
+//     per-tenant regions up front; a tenant can only ever touch its
+//     region. Hard spatial isolation at the cost of internal
+//     fragmentation. Falls back to first-fit when a layer has fewer
+//     arrays than tenants (every tenant must stay schedulable).
+//   - PackWeightedFair: one shared free set, but each tenant's
+//     concurrently-held arrays are capped at a share proportional to
+//     its job count (floored at one array), so a heavy tenant cannot
+//     starve a light one of array space.
+type Packing uint8
+
+// Packing policies.
+const (
+	PackFirstFit Packing = iota
+	PackPartitioned
+	PackWeightedFair
+	numPackings
+)
+
+// String names the policy.
+func (p Packing) String() string {
+	switch p {
+	case PackFirstFit:
+		return "first-fit"
+	case PackPartitioned:
+		return "partitioned"
+	case PackWeightedFair:
+		return "weighted-fair"
+	}
+	return fmt.Sprintf("packing(%d)", uint8(p))
+}
+
+// PackingNames lists the policy names in canonical order.
+func PackingNames() []string {
+	out := make([]string, 0, int(numPackings))
+	for p := Packing(0); p < numPackings; p++ {
+		out = append(out, p.String())
+	}
+	return out
+}
+
+// PackingByName resolves a policy name.
+func PackingByName(name string) (Packing, bool) {
+	for p := Packing(0); p < numPackings; p++ {
+		if p.String() == name {
+			return p, true
+		}
+	}
+	return PackFirstFit, false
+}

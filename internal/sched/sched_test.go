@@ -73,11 +73,11 @@ func TestNewSystem(t *testing.T) {
 	if len(sys.Targets()) != 3 {
 		t.Fatalf("targets = %v", sys.Targets())
 	}
-	if sys.Layers[isa.SRAM].Capacity != 2560 {
-		t.Errorf("SRAM capacity = %d, want half of 5120", sys.Layers[isa.SRAM].Capacity)
+	if sys.Layers[isa.SRAM].Capacity() != 2560 {
+		t.Errorf("SRAM capacity = %d, want half of 5120", sys.Layers[isa.SRAM].Capacity())
 	}
-	if sys.Layers[isa.ReRAM].Capacity != 86016 {
-		t.Errorf("ReRAM capacity = %d", sys.Layers[isa.ReRAM].Capacity)
+	if sys.Layers[isa.ReRAM].Capacity() != 86016 {
+		t.Errorf("ReRAM capacity = %d", sys.Layers[isa.ReRAM].Capacity())
 	}
 	single := NewSystem(isa.SRAM)
 	if len(single.Targets()) != 1 {
@@ -131,7 +131,7 @@ func TestKneeAllocAvoidsOverprovisioning(t *testing.T) {
 	sys := fullSystem()
 	j := mkJob(0, map[isa.Target]int64{isa.SRAM: 5e8}, 8, 1<<20)
 	knee := sys.KneeAlloc(j, isa.SRAM)
-	capArrays := sys.Layers[isa.SRAM].Capacity
+	capArrays := sys.Layers[isa.SRAM].Capacity()
 	if knee < 1 || knee > capArrays {
 		t.Fatalf("knee = %d out of range", knee)
 	}
@@ -349,7 +349,7 @@ func TestInvAllocForTime(t *testing.T) {
 		t.Errorf("inv alloc %d not minimal", m)
 	}
 	// Unreachable target: capacity.
-	if got := invAllocForTime(sys, j, isa.SRAM, 1); got != sys.Layers[isa.SRAM].Capacity {
+	if got := invAllocForTime(sys, j, isa.SRAM, 1); got != sys.Layers[isa.SRAM].Capacity() {
 		t.Errorf("unreachable target should return capacity, got %d", got)
 	}
 }
@@ -423,7 +423,7 @@ func realisticBatch(rng *rand.Rand, sys *System, n int) []*Job {
 			if t == pref {
 				factor = 0.5 + rng.Float64()*0.5
 			}
-			ru := int(frac * float64(sys.Layers[t].Capacity))
+			ru := int(frac * float64(sys.Layers[t].Capacity()))
 			if ru < 1 {
 				ru = 1
 			}
@@ -472,7 +472,7 @@ func TestNoiseErodesGlobalAdvantage(t *testing.T) {
 func TestDispatchShrinksOversizedRequests(t *testing.T) {
 	// A job whose knee allocation exceeds a tiny layer must still run.
 	sys := NewSystem(isa.SRAM)
-	sys.Layers[isa.SRAM].Capacity = 4
+	sys.Layers[isa.SRAM].SetCapacity(4)
 	jobs := []*Job{mkJob(0, map[isa.Target]int64{isa.SRAM: 1e7}, 64, 1<<12)}
 	res := NewAdaptive().Schedule(sys, jobs)
 	checkResult(t, res, 1)

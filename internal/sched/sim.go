@@ -12,6 +12,12 @@ type Assignment struct {
 	Job    *Job
 	Target isa.Target
 	Arrays int
+	// ArrayIDs names the physical arrays the placement held — the
+	// array-granular record behind the multi-tenant isolation invariant
+	// and array-level fault attribution.
+	ArrayIDs ArraySet
+	// Tenant echoes the job's tenant tag at placement time.
+	Tenant string
 	Start  event.Time
 	End    event.Time
 }
@@ -38,6 +44,21 @@ func (r *Result) String() string {
 	return fmt.Sprintf("result(jobs=%d makespan=%.3fms)", len(r.Assignments), r.Makespan.Millis())
 }
 
+// TenantsTouching returns the tenants holding any assignment that
+// overlaps the given array set on target t — the eviction set when
+// those arrays are decommissioned mid-flight.
+func (r *Result) TenantsTouching(t isa.Target, ids ArraySet) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, a := range r.Assignments {
+		if a.Target == t && a.ArrayIDs.Intersects(ids) && !seen[a.Tenant] {
+			seen[a.Tenant] = true
+			out = append(out, a.Tenant)
+		}
+	}
+	return out
+}
+
 // Scheduler maps a batch of jobs onto the system and returns the
 // simulated outcome.
 type Scheduler interface {
@@ -51,6 +72,8 @@ type flight struct {
 	job    *Job
 	target isa.Target
 	arrays int
+	set    ArraySet // the physical arrays held
+	pool   *pool    // where set returns on completion
 	start  event.Time
 	end    event.Time
 	estEnd event.Time // start + estimated duration (scheduler belief)
@@ -106,55 +129,234 @@ func (h *flightHeap) pop() flight {
 	return f
 }
 
+// pool is one allocatable set of arrays: the shared per-target free set,
+// or a tenant's partitioned region. free mirrors avail.Count() so hot
+// capacity checks stay O(1).
+type pool struct {
+	avail ArraySet
+	free  int
+}
+
+func (p *pool) take(n int) ArraySet {
+	p.free -= n
+	return p.avail.TakeLowest(n)
+}
+
+func (p *pool) put(set ArraySet) {
+	p.free += set.Count()
+	p.avail.Add(set)
+}
+
+// tenantState is the per-tenant packing state of one simulation.
+type tenantState struct {
+	// region points at the tenant's private pool per target under
+	// PackPartitioned; nil means the shared pool (first-fit fallback on
+	// layers too small to split).
+	region [isa.NumTargets]*pool
+	// cap is the largest allocation this tenant can ever hold on a
+	// target (region size / weighted-fair quota) — the grant clamp that
+	// keeps strict plan execution deadlock-free.
+	cap [isa.NumTargets]int
+	// held counts arrays currently in flight under PackWeightedFair.
+	held [isa.NumTargets]int
+}
+
 // simState tracks resource occupancy during schedule execution. With
 // estMode set, placements are charged their estimated (model) time
 // instead of the actual time — used by the global scheduler's planning
-// pass.
+// pass. Isolation is structural: every placement takes its ArraySet
+// from exactly one pool and returns it to that pool, and distinct
+// tenants never draw overlapping IDs.
 type simState struct {
 	sys     *System
 	now     event.Time
-	free    map[isa.Target]int
-	slots   map[isa.Target]int
+	slots   [isa.NumTargets]int
+	shared  [isa.NumTargets]pool
+	packing Packing
+	// tenants is non-nil only for multi-tenant batches under a packing
+	// policy that needs per-tenant state; the single-tenant (and
+	// first-fit) path never consults it.
+	tenants map[string]*tenantState
 	flying  flightHeap
 	result  *Result
 	estMode bool
+	// arena backs every span slice the sim creates — the pool free sets
+	// (carved with headroom for fragmentation) and each placement's taken
+	// set — so one allocation serves the whole Schedule call instead of
+	// one per take. Taken sub-slices outlive the sim inside Result
+	// assignments; the arena is never recycled.
+	arena []Span
 }
 
-func newSim(sys *System) *simState {
+// newSim builds execution state for one batch. The jobs are scanned for
+// tenant tags (first-appearance order, so the partition layout is
+// deterministic in job order); a batch where every job shares one
+// tenant — tagged or not — runs on the shared-pool fast path identical
+// to the pre-tenant scheduler.
+func newSim(sys *System, jobs []*Job) *simState {
 	st := &simState{
-		sys:   sys,
-		free:  map[isa.Target]int{},
-		slots: map[isa.Target]int{},
+		sys:     sys,
+		packing: sys.Packing,
 		result: &Result{
 			BusyTime: map[isa.Target]event.Time{},
 		},
 	}
+	st.arena = make([]Span, 0, 8*len(jobs)+64)
+	// Free-set fragmentation is bounded by the number of concurrent
+	// flights, so each pool gets that much in-place growth before an
+	// Add has to reallocate it away from the arena.
+	head := len(jobs) + 4
 	for t, l := range sys.Layers {
-		st.free[t] = l.Capacity
+		start := len(st.arena)
+		st.arena = append(st.arena, l.avail.Spans()...)
+		end := len(st.arena)
+		for i := 0; i < head; i++ {
+			st.arena = append(st.arena, Span{})
+		}
+		st.shared[t].avail = ArraySet{spans: st.arena[start : end : end+head]}
+		st.shared[t].free = l.avail.Count()
 		st.slots[t] = l.Slots
+	}
+	if st.packing == PackFirstFit {
+		return st // tenant-agnostic: one shared pool, lowest IDs first
+	}
+	var order []string
+	count := map[string]int{}
+	for _, j := range jobs {
+		if _, ok := count[j.Tenant]; !ok {
+			order = append(order, j.Tenant)
+		}
+		count[j.Tenant]++
+	}
+	if len(order) <= 1 {
+		return st
+	}
+	st.tenants = make(map[string]*tenantState, len(order))
+	for _, name := range order {
+		st.tenants[name] = &tenantState{}
+	}
+	for _, t := range sys.Targets() {
+		total := st.shared[t].free
+		switch st.packing {
+		case PackPartitioned:
+			if total < len(order) {
+				// Too few arrays to give every tenant one: fall back to the
+				// shared pool on this layer so no tenant becomes unroutable.
+				for _, name := range order {
+					st.tenants[name].cap[t] = total
+				}
+				continue
+			}
+			base, extra := total/len(order), total%len(order)
+			for i, name := range order {
+				share := base
+				if i < extra {
+					share++
+				}
+				ts := st.tenants[name]
+				ts.region[t] = &pool{avail: st.shared[t].take(share), free: share}
+				ts.cap[t] = share
+			}
+		case PackWeightedFair:
+			totalJobs := len(jobs)
+			for _, name := range order {
+				quota := total * count[name] / totalJobs
+				if quota < 1 {
+					quota = 1
+				}
+				st.tenants[name].cap[t] = quota
+			}
+		}
 	}
 	return st
 }
 
-// canPlace reports whether target t can accept a job with the given
-// allocation right now.
-func (st *simState) canPlace(t isa.Target, arrays int) bool {
-	return arrays > 0 && st.slots[t] > 0 && st.free[t] >= arrays
+// poolFor returns the pool a tenant allocates from on target t.
+func (st *simState) poolFor(t isa.Target, tenant string) *pool {
+	if st.tenants != nil && st.packing == PackPartitioned {
+		if ts := st.tenants[tenant]; ts != nil && ts.region[t] != nil {
+			return ts.region[t]
+		}
+	}
+	return &st.shared[t]
+}
+
+// freeFor returns the arrays the tenant could be granted on t right
+// now — the tenant-aware replacement for the old shared free count.
+func (st *simState) freeFor(t isa.Target, tenant string) int {
+	if st.tenants == nil {
+		return st.shared[t].free
+	}
+	ts := st.tenants[tenant]
+	if ts == nil {
+		return st.shared[t].free
+	}
+	switch st.packing {
+	case PackPartitioned:
+		if ts.region[t] != nil {
+			return ts.region[t].free
+		}
+		return st.shared[t].free
+	case PackWeightedFair:
+		if room := ts.cap[t] - ts.held[t]; room < st.shared[t].free {
+			return room
+		}
+		return st.shared[t].free
+	}
+	return st.shared[t].free
+}
+
+// maxGrant returns the largest allocation the tenant can ever hold on
+// t, even with the layer idle. Plans clamped to maxGrant cannot
+// deadlock: once the tenant's in-flight work drains, freeFor reaches
+// maxGrant again. On the shared-pool path the layer capacity clamp
+// (clampAlloc) already bounds grants, so this returns "no extra limit".
+func (st *simState) maxGrant(t isa.Target, tenant string) int {
+	const unlimited = int(^uint(0) >> 1)
+	if st.tenants == nil {
+		return unlimited
+	}
+	if ts := st.tenants[tenant]; ts != nil && ts.cap[t] > 0 {
+		return ts.cap[t]
+	}
+	return unlimited
+}
+
+// takeFrom removes the n lowest IDs from p, storing the taken spans in
+// the sim's arena (capacity-clamped so later arena growth can't touch
+// them).
+func (st *simState) takeFrom(p *pool, n int) ArraySet {
+	p.free -= n
+	start := len(st.arena)
+	st.arena = p.avail.takeLowestAppend(st.arena, n)
+	return ArraySet{spans: st.arena[start:len(st.arena):len(st.arena)]}
+}
+
+// canPlace reports whether target t can accept the tenant's job with
+// the given allocation right now.
+func (st *simState) canPlace(t isa.Target, arrays int, tenant string) bool {
+	return arrays > 0 && st.slots[t] > 0 && st.freeFor(t, tenant) >= arrays
 }
 
 // place starts a job on t with the given allocation, charging its
 // simulated (true) execution time.
 func (st *simState) place(j *Job, t isa.Target, arrays int) {
-	if !st.canPlace(t, arrays) {
+	if !st.canPlace(t, arrays, j.Tenant) {
 		panic(fmt.Sprintf("sched: cannot place %v on %s with %d arrays", j, t, arrays))
 	}
 	dur := st.sys.ActualTime(j, t, arrays)
 	if st.estMode {
 		dur = st.sys.ModelTime(j, t, arrays)
 	}
-	st.free[t] -= arrays
+	p := st.poolFor(t, j.Tenant)
+	set := st.takeFrom(p, arrays)
+	if st.tenants != nil && st.packing == PackWeightedFair {
+		if ts := st.tenants[j.Tenant]; ts != nil {
+			ts.held[t] += arrays
+		}
+	}
 	st.slots[t]--
-	st.flying.push(flight{job: j, target: t, arrays: arrays,
+	st.flying.push(flight{job: j, target: t, arrays: arrays, set: set, pool: p,
 		start: st.now, end: st.now + dur, estEnd: st.now + st.sys.ModelTime(j, t, arrays)})
 }
 
@@ -166,10 +368,16 @@ func (st *simState) advance() bool {
 	}
 	f := st.flying.pop()
 	st.now = f.end
-	st.free[f.target] += f.arrays
+	f.pool.put(f.set)
+	if st.tenants != nil && st.packing == PackWeightedFair {
+		if ts := st.tenants[f.job.Tenant]; ts != nil {
+			ts.held[f.target] -= f.arrays
+		}
+	}
 	st.slots[f.target]++
 	st.result.Assignments = append(st.result.Assignments, Assignment{
-		Job: f.job, Target: f.target, Arrays: f.arrays, Start: f.start, End: f.end,
+		Job: f.job, Target: f.target, Arrays: f.arrays, ArrayIDs: f.set,
+		Tenant: f.job.Tenant, Start: f.start, End: f.end,
 	})
 	st.result.BusyTime[f.target] += f.end - f.start
 	if f.end > st.result.Makespan {

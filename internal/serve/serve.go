@@ -24,6 +24,11 @@ type Request struct {
 	// batch's jobs pull toward one memory and the node scheduler is not
 	// forced to split every batch three ways).
 	Class string
+	// Tenant, when non-empty, names the tenant this request belongs to.
+	// Tenants never share a batch (the batch former folds the tenant into
+	// the compatibility key), so every batch reaching a node scheduler is
+	// tenant-pure and the scheduler can hold tenants on disjoint arrays.
+	Tenant string
 
 	// GNN payload: the sampled subgraph and feature width whose
 	// aggregation SpMM this request executes. App-source requests leave
@@ -87,6 +92,12 @@ type Config struct {
 	DriftThreshold float64
 	// Seed drives the retraining rng (shuffle order inside Refit).
 	Seed int64
+
+	// OnDone, if set, observes every batch terminal state after the
+	// front end's own settlement — the audit hook experiments use to
+	// inspect per-job assignments (DoneInfo.Result.Assignments, with
+	// RecordAssignments armed on the dispatcher).
+	OnDone func(cluster.DoneInfo)
 }
 
 func (c *Config) batchMax() int {
@@ -131,6 +142,24 @@ type classQueue struct {
 	timerGen int
 }
 
+// tenantTally is one tenant's request terminal-state accounting.
+type tenantTally struct {
+	requests, shedAdmission, shedOverload, deadLettered, completed, met int
+}
+
+// tally returns (creating on first use) a tenant's accounting row.
+func (fe *FrontEnd) tally(tenant string) *tenantTally {
+	if fe.tenants == nil {
+		fe.tenants = map[string]*tenantTally{}
+	}
+	t := fe.tenants[tenant]
+	if t == nil {
+		t = &tenantTally{}
+		fe.tenants[tenant] = t
+	}
+	return t
+}
+
 // batchRec joins an in-flight batch back to its requests and to the
 // admission-time prediction.
 type batchRec struct {
@@ -161,6 +190,8 @@ type FrontEnd struct {
 	completedReq  int
 	met           int
 	latencies     []float64
+	latTenants    []string // parallel to latencies; "" when untenanted
+	tenants       map[string]*tenantTally
 
 	obs          []predict.Observation
 	predErrSum   float64
@@ -218,20 +249,34 @@ func (fe *FrontEnd) retraining() bool {
 	return fe.cfg.Predictor != nil && fe.cfg.Mirror != nil
 }
 
+// classKey folds the tenant into the batch-former compatibility key:
+// requests of one class batch together only within one tenant, so
+// every sealed batch is tenant-pure.
+func classKey(r *Request) string {
+	if r.Tenant == "" {
+		return r.Class
+	}
+	return r.Class + "@" + r.Tenant
+}
+
 // arrive queues one request into its class and applies the dispatch
 // rule: seal on batch-full immediately, otherwise arm the budget timer
 // when the request opens a fresh batch.
 func (fe *FrontEnd) arrive(r *Request) {
 	fe.requests++
-	q := fe.classes[r.Class]
+	if r.Tenant != "" {
+		fe.tally(r.Tenant).requests++
+	}
+	key := classKey(r)
+	q := fe.classes[key]
 	if q == nil {
 		q = &classQueue{}
-		fe.classes[r.Class] = q
+		fe.classes[key] = q
 	}
 	q.reqs = append(q.reqs, r)
 	if len(q.reqs) >= fe.cfg.batchMax() {
 		q.timerGen++ // disarm the pending budget timer
-		fe.seal(r.Class)
+		fe.seal(key)
 		return
 	}
 	if len(q.reqs) == 1 {
@@ -241,7 +286,7 @@ func (fe *FrontEnd) arrive(r *Request) {
 				return // batch-full seal got there first
 			}
 			q.timerGen++
-			fe.seal(r.Class)
+			fe.seal(key)
 		})
 	}
 }
@@ -269,6 +314,9 @@ func (fe *FrontEnd) seal(class string) {
 		for i, r := range reqs {
 			if r.Deadline < predictedAt {
 				fe.shedAdmission++
+				if r.Tenant != "" {
+					fe.tally(r.Tenant).shedAdmission++
+				}
 				continue
 			}
 			keptR = append(keptR, r)
@@ -286,7 +334,7 @@ func (fe *FrontEnd) seal(class string) {
 		reqs: reqs, sealedAt: now,
 		predictedAt: predictedAt, predictedOK: predictedOK,
 	}
-	if err := fe.d.Inject(&runtime.Batch{ID: id, Arrival: now, Jobs: jobs}); err != nil {
+	if err := fe.d.Inject(&runtime.Batch{ID: id, Arrival: now, Tenant: reqs[0].Tenant, Jobs: jobs}); err != nil {
 		panic("serve: " + err.Error()) // IDs are unique, jobs non-empty
 	}
 }
@@ -300,21 +348,43 @@ func (fe *FrontEnd) onDone(info cluster.DoneInfo) {
 	if rec == nil {
 		return
 	}
+	if fe.cfg.OnDone != nil {
+		defer fe.cfg.OnDone(info)
+	}
 	delete(fe.batches, info.Batch.ID)
 	switch info.Outcome {
 	case cluster.OutcomeShed:
 		fe.shedOverload += len(rec.reqs)
+		for _, r := range rec.reqs {
+			if r.Tenant != "" {
+				fe.tally(r.Tenant).shedOverload++
+			}
+		}
 		return
 	case cluster.OutcomeDeadLettered:
 		fe.deadLettered += len(rec.reqs)
+		for _, r := range rec.reqs {
+			if r.Tenant != "" {
+				fe.tally(r.Tenant).deadLettered++
+			}
+		}
 		return
 	}
 	res := info.Result
 	for _, r := range rec.reqs {
 		fe.completedReq++
 		fe.latencies = append(fe.latencies, (res.Completed - r.Arrival).Millis())
-		if res.Completed <= r.Deadline {
+		fe.latTenants = append(fe.latTenants, r.Tenant)
+		met := res.Completed <= r.Deadline
+		if met {
 			fe.met++
+		}
+		if r.Tenant != "" {
+			t := fe.tally(r.Tenant)
+			t.completed++
+			if met {
+				t.met++
+			}
 		}
 	}
 	if rec.predictedOK {
@@ -393,9 +463,31 @@ type Summary struct {
 
 	SLO stats.SLOStats // goodput-under-SLO and per-request latency tail
 
+	// Tenants holds one row per tenant (sorted by name) when the trace
+	// carried tenant tags; empty otherwise.
+	Tenants []TenantSummary
+
 	MeanAbsLogErr float64 // mean |log(actual/predicted)| batch latency
 	Drifts        int
 	Retrains      int
+}
+
+// TenantSummary is one tenant's slice of the serving run: terminal
+// states and the per-tenant goodput/latency digest.
+type TenantSummary struct {
+	Tenant        string
+	Requests      int
+	ShedAdmission int
+	ShedOverload  int
+	DeadLettered  int
+	Completed     int
+	SLO           stats.SLOStats
+}
+
+// Accounted sums the tenant's request terminal states; conservation
+// demands it equal Requests on every drained run.
+func (t TenantSummary) Accounted() int {
+	return t.Completed + t.ShedAdmission + t.ShedOverload + t.DeadLettered
 }
 
 // Accounted sums the request terminal states; conservation demands it
@@ -405,18 +497,25 @@ func (s Summary) Accounted() int {
 }
 
 // String renders the serving digest deterministically (the worker-count
-// equivalence artefact).
+// equivalence artefact). Tenant rows appear only on tenant-tagged runs,
+// so untenanted artefacts are unchanged.
 func (s Summary) String() string {
-	return fmt.Sprintf(
+	head := fmt.Sprintf(
 		"serve(requests=%d sealed=%d completed=%d met=%d goodput=%.2f/s metfrac=%.3f\n"+
 			"  shed[admission=%d overload=%d dead-letter=%d]\n"+
 			"  request-latency mean=%.3f p50=%.3f p90=%.3f p99=%.3fms\n"+
-			"  predictor abs-log-err=%.4f drifts=%d retrains=%d)\n%s",
+			"  predictor abs-log-err=%.4f drifts=%d retrains=%d)",
 		s.Requests, s.Sealed, s.Completed, s.SLO.Met, s.SLO.Goodput, s.SLO.MetFrac(),
 		s.ShedAdmission, s.ShedOverload, s.DeadLettered,
 		s.SLO.Latency.Mean, s.SLO.Latency.P50, s.SLO.Latency.P90, s.SLO.Latency.P99,
-		s.MeanAbsLogErr, s.Drifts, s.Retrains,
-		s.Cluster.String())
+		s.MeanAbsLogErr, s.Drifts, s.Retrains)
+	for _, t := range s.Tenants {
+		head += fmt.Sprintf(
+			"\n  tenant %-6s req=%-5d done=%-5d met=%-5d goodput=%.2f/s p99=%.3fms shed[adm=%d over=%d dead=%d]",
+			t.Tenant, t.Requests, t.Completed, t.SLO.Met, t.SLO.Goodput, t.SLO.Latency.P99,
+			t.ShedAdmission, t.ShedOverload, t.DeadLettered)
+	}
+	return head + "\n" + s.Cluster.String()
 }
 
 // Run drains the fleet and assembles the serving summary.
@@ -434,8 +533,52 @@ func (fe *FrontEnd) Run() Summary {
 		Retrains:      fe.retrains,
 	}
 	s.SLO = stats.SummarizeSLO(fe.latencies, fe.met, fe.requests, cs.Makespan.Seconds())
+	if len(fe.tenants) > 0 {
+		var keys []string
+		var lats []float64
+		for i, t := range fe.latTenants {
+			if t != "" {
+				keys = append(keys, t)
+				lats = append(lats, fe.latencies[i])
+			}
+		}
+		met := make(map[string]int, len(fe.tenants))
+		offered := make(map[string]int, len(fe.tenants))
+		for name, t := range fe.tenants {
+			met[name] = t.met
+			offered[name] = t.requests
+		}
+		order, byKey := stats.GroupSLO(keys, lats, met, offered, cs.Makespan.Seconds())
+		for _, name := range order {
+			t := fe.tenants[name]
+			if t == nil {
+				t = &tenantTally{}
+			}
+			s.Tenants = append(s.Tenants, TenantSummary{
+				Tenant:        name,
+				Requests:      t.requests,
+				ShedAdmission: t.shedAdmission,
+				ShedOverload:  t.shedOverload,
+				DeadLettered:  t.deadLettered,
+				Completed:     t.completed,
+				SLO:           byKey[name],
+			})
+		}
+	}
 	if fe.predErrN > 0 {
 		s.MeanAbsLogErr = fe.predErrSum / float64(fe.predErrN)
 	}
 	return s
+}
+
+// AssignTenants tags reqs round-robin across n tenants named
+// "t0".."t{n-1}" — the workload-side half of a multi-tenant run. A
+// non-positive n leaves the trace untenanted.
+func AssignTenants(reqs []*Request, n int) {
+	if n <= 0 {
+		return
+	}
+	for i, r := range reqs {
+		r.Tenant = fmt.Sprintf("t%d", i%n)
+	}
 }

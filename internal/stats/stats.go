@@ -192,6 +192,37 @@ func SummarizeSLO(latenciesMs []float64, met, requests int, horizonSec float64) 
 	return s
 }
 
+// GroupSLO rolls per-key samples into one SLOStats per key — the
+// per-tenant view of a multi-tenant serving run. keys[i] labels
+// latenciesMs[i] (one entry per completed request); met and offered
+// count per key independently, so a key may appear in met/offered with
+// no completed samples (everything shed) or vice versa. Keys are
+// returned sorted for stable iteration. horizonSec normalises goodput
+// exactly as in SummarizeSLO.
+func GroupSLO(keys []string, latenciesMs []float64, met, offered map[string]int, horizonSec float64) (order []string, byKey map[string]SLOStats) {
+	lat := map[string][]float64{}
+	for i, k := range keys {
+		lat[k] = append(lat[k], latenciesMs[i])
+	}
+	seen := map[string]bool{}
+	for k := range lat {
+		seen[k] = true
+	}
+	for k := range met {
+		seen[k] = true
+	}
+	for k := range offered {
+		seen[k] = true
+	}
+	byKey = make(map[string]SLOStats, len(seen))
+	for k := range seen {
+		order = append(order, k)
+		byKey[k] = SummarizeSLO(lat[k], met[k], offered[k], horizonSec)
+	}
+	sort.Strings(order)
+	return order, byKey
+}
+
 // Median returns the 50th percentile of xs.
 func Median(xs []float64) float64 { return Percentile(xs, 50) }
 

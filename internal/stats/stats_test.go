@@ -251,3 +251,90 @@ func TestSummarizeLatencyMatchesPercentile(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSummarizeSLOEmpty(t *testing.T) {
+	got := SummarizeSLO(nil, 0, 0, 0.5)
+	if got.Requests != 0 || got.Completed != 0 || got.Met != 0 || got.Goodput != 0 {
+		t.Errorf("empty run = %+v, want zeros", got)
+	}
+	if got.Latency != (LatencyStats{}) {
+		t.Errorf("empty run latency = %+v, want zero digest", got.Latency)
+	}
+	if got.MetFrac() != 0 {
+		t.Errorf("MetFrac with zero requests = %v, want 0", got.MetFrac())
+	}
+}
+
+func TestSummarizeSLOSingleSample(t *testing.T) {
+	got := SummarizeSLO([]float64{4.0}, 1, 1, 2.0)
+	if got.Requests != 1 || got.Completed != 1 || got.Met != 1 {
+		t.Errorf("counts = %+v", got)
+	}
+	if got.Goodput != 0.5 {
+		t.Errorf("goodput = %v, want 0.5 (1 met / 2s)", got.Goodput)
+	}
+	if got.MetFrac() != 1 {
+		t.Errorf("metfrac = %v, want 1", got.MetFrac())
+	}
+	if want := (LatencyStats{Mean: 4, P50: 4, P90: 4, P99: 4}); got.Latency != want {
+		t.Errorf("latency = %+v, want %+v", got.Latency, want)
+	}
+}
+
+func TestSummarizeSLONonPositiveHorizon(t *testing.T) {
+	if got := SummarizeSLO([]float64{1}, 1, 1, 0); got.Goodput != 0 {
+		t.Errorf("zero horizon goodput = %v, want 0", got.Goodput)
+	}
+	if got := SummarizeSLO([]float64{1}, 1, 1, -3); got.Goodput != 0 {
+		t.Errorf("negative horizon goodput = %v, want 0", got.Goodput)
+	}
+}
+
+func TestGroupSLOEmpty(t *testing.T) {
+	order, byKey := GroupSLO(nil, nil, nil, nil, 1.0)
+	if len(order) != 0 || len(byKey) != 0 {
+		t.Errorf("empty input produced order=%v byKey=%v", order, byKey)
+	}
+}
+
+func TestGroupSLOSingleSamplePerTenant(t *testing.T) {
+	keys := []string{"t1", "t0"}
+	lats := []float64{8.0, 2.0}
+	met := map[string]int{"t0": 1, "t1": 0}
+	offered := map[string]int{"t0": 1, "t1": 1}
+	order, byKey := GroupSLO(keys, lats, met, offered, 4.0)
+	if want := []string{"t0", "t1"}; len(order) != 2 || order[0] != want[0] || order[1] != want[1] {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	t0 := byKey["t0"]
+	if t0.Completed != 1 || t0.Met != 1 || t0.Goodput != 0.25 || t0.Latency.P99 != 2.0 {
+		t.Errorf("t0 = %+v", t0)
+	}
+	t1 := byKey["t1"]
+	if t1.Completed != 1 || t1.Met != 0 || t1.Goodput != 0 || t1.Latency.P99 != 8.0 {
+		t.Errorf("t1 = %+v", t1)
+	}
+}
+
+// An all-shed tenant appears in offered with no completions: the rollup
+// must still emit its row, with a zero latency digest and zero goodput.
+func TestGroupSLOAllShedTenant(t *testing.T) {
+	keys := []string{"t0"}
+	lats := []float64{1.5}
+	met := map[string]int{"t0": 1}
+	offered := map[string]int{"t0": 1, "shed": 5}
+	order, byKey := GroupSLO(keys, lats, met, offered, 1.0)
+	if len(order) != 2 {
+		t.Fatalf("order = %v, want 2 tenants", order)
+	}
+	s := byKey["shed"]
+	if s.Requests != 5 || s.Completed != 0 || s.Met != 0 || s.Goodput != 0 {
+		t.Errorf("all-shed tenant = %+v", s)
+	}
+	if s.Latency != (LatencyStats{}) {
+		t.Errorf("all-shed latency = %+v, want zero digest", s.Latency)
+	}
+	if s.MetFrac() != 0 {
+		t.Errorf("all-shed metfrac = %v, want 0", s.MetFrac())
+	}
+}

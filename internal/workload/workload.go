@@ -128,6 +128,19 @@ func RandomJobs(rng *rand.Rand, n, startID int) []*sched.Job {
 	return jobs
 }
 
+// AssignTenants tags jobs round-robin across n tenants named
+// "t0".."t{n-1}", so a generated batch exercises the scheduler's
+// multi-tenant array packing. A non-positive n leaves jobs untenanted
+// (the single-pool fast path).
+func AssignTenants(jobs []*sched.Job, n int) []*sched.Job {
+	if n > 0 {
+		for i, j := range jobs {
+			j.Tenant = fmt.Sprintf("t%d", i%n)
+		}
+	}
+	return jobs
+}
+
 // RequestPool caches the per-app cost profiles so single-request draws
 // — the open-loop serving front end generates one job per request —
 // don't recompile every kernel per request.
@@ -169,7 +182,7 @@ func (p *RequestPool) Draw(rng *rand.Rand, id int) *sched.Job {
 func StandaloneTime(sys *sched.System, a apps.App, t isa.Target) float64 {
 	j := &sched.Job{ID: 0, Name: a.Name, Kind: a.Name,
 		Est: map[isa.Target]sched.Profile{t: profileFor(a, t)}}
-	return sys.ModelTime(j, t, sys.Layers[t].Capacity).Seconds()
+	return sys.ModelTime(j, t, sys.Layers[t].Capacity()).Seconds()
 }
 
 // PreferredTarget returns the memory with the lowest standalone kernel
