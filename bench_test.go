@@ -152,25 +152,28 @@ func fleetBatches(nodes, waves, jobsPerBatch int) []*runtime.Batch {
 	return batches
 }
 
-// benchFleetShards drives an 8-node homogeneous fleet through the
-// sharded dispatcher at the given worker count — the ISSUE 5 speedup
-// benchmark. least-outstanding keeps the hub estimate-free, so all
+// benchFleet drives a homogeneous fleet through the sharded dispatcher
+// at the given worker count and hub topology — the ISSUE 5/8 speedup
+// benchmarks. least-outstanding keeps the hubs estimate-free, so all
 // scheduling work lives on the node shards where the workers can reach
 // it; artefacts are byte-identical across worker counts (asserted
 // against the serial run's completion count).
-func benchFleetShards(b *testing.B, workers int) {
-	const nodes, waves, jobsPerBatch = 8, 10, 8
+func benchFleet(b *testing.B, nodes, hubs, waves, jobsPerBatch, workers int) {
 	batches := fleetBatches(nodes, waves, jobsPerBatch)
 	cfgs := make([]cluster.NodeConfig, nodes)
 	for i := range cfgs {
 		cfgs[i] = cluster.NodeConfig{Name: fmt.Sprintf("node%d", i), Targets: isa.Targets}
 	}
+	// Beacons on the wave cadence: belief exchange stays off the
+	// dispatch fast path and completion echoes ride the same grid.
+	sc := cluster.ShardConfig{Workers: workers, Hubs: hubs,
+		SummaryEvery: 60 * event.Millisecond}
 	b.ReportAllocs()
 	b.ResetTimer()
 	var avgActive float64
 	for i := 0; i < b.N; i++ {
 		d := cluster.NewShardedDispatcher(cluster.NewLeastOutstanding(), cluster.Admission{},
-			cluster.ShardConfig{Workers: workers}, cfgs...)
+			sc, cfgs...)
 		for _, bt := range batches {
 			if err := d.Submit(bt); err != nil {
 				b.Fatal(err)
@@ -186,7 +189,24 @@ func benchFleetShards(b *testing.B, workers int) {
 	b.ReportMetric(avgActive, "avg-active-shards")
 }
 
+// benchFleetShards is the 8-node sweep, now routed through a hub tree
+// (one sub-hub per node) so per-window parallelism tracks fleet size.
+func benchFleetShards(b *testing.B, workers int) {
+	benchFleet(b, 8, 8, 10, 8, workers)
+}
+
 func BenchmarkFleetShards_J1(b *testing.B) { benchFleetShards(b, 1) }
 func BenchmarkFleetShards_J2(b *testing.B) { benchFleetShards(b, 2) }
 func BenchmarkFleetShards_J4(b *testing.B) { benchFleetShards(b, 4) }
 func BenchmarkFleetShards_J8(b *testing.B) { benchFleetShards(b, 8) }
+
+// benchFleetShards64 is the 64-node hub-bottleneck sweep the tree was
+// built for: 32 sub-hubs of 2 nodes, fewer waves to keep iterations
+// affordable at 8x the fleet.
+func benchFleetShards64(b *testing.B, workers int) {
+	benchFleet(b, 64, 32, 4, 6, workers)
+}
+
+func BenchmarkFleetShards64_J1(b *testing.B) { benchFleetShards64(b, 1) }
+func BenchmarkFleetShards64_J4(b *testing.B) { benchFleetShards64(b, 4) }
+func BenchmarkFleetShards64_J8(b *testing.B) { benchFleetShards64(b, 8) }

@@ -34,6 +34,7 @@ import (
 	"strings"
 	"time"
 
+	"mlimp/internal/cluster"
 	"mlimp/internal/experiments"
 )
 
@@ -42,6 +43,8 @@ func main() {
 	run := flag.String("run", "", "run only the experiment with this id")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "number of experiments to run concurrently")
 	simJobs := flag.Int("sim-j", 1, "event-engine shards advanced concurrently inside the fleet experiments (1 = serial; artefacts are identical at any value)")
+	hubs := flag.Int("hubs", 1, "regional sub-hubs the fleet experiments dispatch through (1 = flat single hub; must tile the 4-node bundled fleet)")
+	hubFanout := flag.Int("hub-fanout", 0, "nodes per sub-hub (0 = derive from -hubs; hubs x fanout must equal the fleet size)")
 	tenants := flag.String("tenants", "2,4", "comma-separated tenant counts for the multitenant sweep")
 	packing := flag.String("packing", "all", "array packing policy for the multitenant sweep (first-fit, partitioned, weighted-fair, all)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -54,6 +57,13 @@ func main() {
 	}
 	if *simJobs < 1 {
 		fmt.Fprintf(os.Stderr, "mlimp-bench: -sim-j must be >= 1 (got %d)\n", *simJobs)
+		os.Exit(2)
+	}
+	// The bundled fleet experiments all run 4 nodes, so the hub
+	// topology validates against that size up front.
+	resolvedHubs, _, err := cluster.ValidateTopology(*hubs, *hubFanout, experiments.FleetNodes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mlimp-bench: %v (fleet has %d nodes)\n", err, experiments.FleetNodes)
 		os.Exit(2)
 	}
 	counts, err := parseTenantCounts(*tenants)
@@ -89,6 +99,7 @@ func main() {
 	defer writeMemProfile(*memprofile)
 
 	experiments.SetSimWorkers(*simJobs)
+	experiments.SetSimHubs(resolvedHubs)
 
 	if *run != "" {
 		e, ok := experiments.ByID(*run)

@@ -136,6 +136,10 @@ func main() {
 	breakerCooldownMs := flag.Float64("breaker-cooldown-ms", 0,
 		"open-breaker cooldown before a half-open probe; 0 means the default")
 	heartbeatMs := flag.Float64("heartbeat-ms", 0, "node heartbeat period; 0 means the default")
+	hubs := flag.Int("hubs", 1,
+		"regional sub-hubs the sharded fabric dispatches through (1 = flat single hub; must tile the fleet)")
+	hubFanout := flag.Int("hub-fanout", 0,
+		"nodes per sub-hub (0 = derive from -hubs; hubs x fanout must equal the fleet size)")
 	jobs := flag.Int("j", 0,
 		"engine workers for the sharded per-node fabric; 0 uses the legacy single-engine dispatcher")
 	openLoop := flag.Bool("open", false,
@@ -238,6 +242,15 @@ func main() {
 	for i := range cfgs {
 		cfgs[i].Packing = pk
 	}
+	// Topology validates against the parsed fleet size, so -nodes and
+	// -hubs are checked as a pair.
+	resolvedHubs, _, err := cluster.ValidateTopology(*hubs, *hubFanout, len(cfgs))
+	if err != nil {
+		fail("%v (fleet has %d nodes)", err, len(cfgs))
+	}
+	if resolvedHubs > 1 && *jobs < 1 {
+		fail("-hubs > 1 needs the sharded fabric: pass -j >= 1 (got %d)", *jobs)
+	}
 	policies := cluster.PolicyNames()
 	if *policy != "all" {
 		if _, ok := cluster.PolicyByName(*policy); !ok {
@@ -298,7 +311,7 @@ func main() {
 				Heartbeat:       event.Time(*heartbeatMs * float64(event.Millisecond)),
 			}
 		}
-		runOpenLoop(policies, adm, cfgs, *jobs, openParams{
+		runOpenLoop(policies, adm, cfgs, *jobs, resolvedHubs, openParams{
 			source: *source, arrival: *arrival,
 			predictorAdmission: *admission == "predictor",
 			reqGap:             event.Time(*reqGapUs * float64(event.Microsecond)),
@@ -326,7 +339,8 @@ func main() {
 			Run() cluster.Summary
 		}
 		if *jobs >= 1 {
-			d = cluster.NewShardedDispatcher(p, adm, cluster.ShardConfig{Workers: *jobs}, cfgs...)
+			d = cluster.NewShardedDispatcher(p, adm,
+				cluster.ShardConfig{Workers: *jobs, Hubs: resolvedHubs}, cfgs...)
 		} else {
 			d = cluster.NewDispatcher(p, adm, cfgs...)
 		}
@@ -419,7 +433,7 @@ type openParams struct {
 // runOpenLoop drives the request-level front end once per policy on the
 // sharded fabric, with the request trace held fixed across policies.
 func runOpenLoop(policies []string, adm cluster.Admission, cfgs []cluster.NodeConfig,
-	workers int, p openParams) {
+	workers, hubs int, p openParams) {
 	die := func(err error) {
 		fmt.Fprintf(os.Stderr, "mlimp-serve: %v\n", err)
 		os.Exit(1)
@@ -432,7 +446,7 @@ func runOpenLoop(policies []string, adm cluster.Admission, cfgs []cluster.NodeCo
 	for _, name := range policies {
 		pol, _ := cluster.PolicyByName(name)
 		d := cluster.NewShardedDispatcher(pol, adm,
-			cluster.ShardConfig{Workers: workers}, cfgs...)
+			cluster.ShardConfig{Workers: workers, Hubs: hubs}, cfgs...)
 		if p.faultCfg != nil {
 			if err := d.EnableFaults(*p.faultCfg); err != nil {
 				die(err)

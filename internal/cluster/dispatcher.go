@@ -110,6 +110,7 @@ type tracker struct {
 	idx          int   // current booking's node index (sharded dispatcher)
 	attempts     int   // times accepted by a node (execution starts)
 	redispatches int   // failure-driven re-dispatches consumed
+	fwds         int   // hub-tree overflow forwards consumed (tree.go)
 	gen          int   // bumped per booking and per re-dispatch
 	done         bool
 }

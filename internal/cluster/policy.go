@@ -24,6 +24,11 @@ func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
 // Name implements Policy.
 func (p *RoundRobin) Name() string { return "roundrobin" }
 
+// Clone returns an independent round-robin instance. The hub tree gives
+// each regional sub-hub its own rotation cursor, so one region's picks
+// never depend on how many batches another region routed.
+func (p *RoundRobin) Clone() Policy { return &RoundRobin{} }
+
 // Pick implements Policy.
 func (p *RoundRobin) Pick(eligible []*Node, _ *runtime.Batch, _ event.Time) *Node {
 	n := eligible[p.i%len(eligible)]

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 
 	"mlimp/internal/event"
@@ -69,6 +70,14 @@ type ShardedDispatcher struct {
 	execErrors   int
 	timeouts     int
 	tenants      map[string]*tenantCounts
+
+	// Hub-tree wiring (tree.go). On the user-facing handle of a
+	// hierarchical fleet, tree holds the regional sub-dispatchers and
+	// hub is nil; on each region, reg holds its place in the tree. Both
+	// nil on the flat single-hub fabric, which takes none of the tree
+	// code paths.
+	tree *hubTree
+	reg  *regionState
 }
 
 // shardNode binds one real node to its shard. tokens and attempts are
@@ -91,6 +100,51 @@ type shardNode struct {
 // still resolves within a beat period.
 const DefaultHop = 20 * event.Microsecond
 
+// DefaultSummaryEvery is the hub-tree beacon period: how often a
+// regional sub-hub batches its completion echoes upward and broadcasts
+// its load belief to ring neighbours. Sized at a few batch service
+// times so beliefs stay fresh relative to the ~10ms-scale work the
+// fleet serves, while keeping node shards causally independent for
+// dozens of hop-widths at a stretch.
+const DefaultSummaryEvery = 5 * event.Millisecond
+
+// Topology validation errors, surfaced verbatim by the CLI -hubs /
+// -hub-fanout flags (exit 2 on any of them).
+var (
+	// ErrBadHubs rejects a non-positive sub-hub count.
+	ErrBadHubs = errors.New("cluster: hubs must be at least 1")
+	// ErrBadHubFanout rejects a negative nodes-per-hub count (0 means
+	// derive it from the hub count).
+	ErrBadHubFanout = errors.New("cluster: hub-fanout must be positive (or 0 to derive)")
+	// ErrTopologyMismatch rejects hub counts that do not evenly tile the
+	// fleet, or an explicit fanout that disagrees with hubs x fanout ==
+	// nodes. Regions own contiguous equal slices; ragged trees are not
+	// modelled.
+	ErrTopologyMismatch = errors.New("cluster: hubs x hub-fanout must exactly tile the fleet")
+)
+
+// ValidateTopology checks a (hubs, fanout) pair against a fleet size.
+// fanout 0 derives nodes/hubs. Returns the resolved pair.
+func ValidateTopology(hubs, fanout, nodes int) (int, int, error) {
+	if hubs == 0 {
+		hubs = 1
+	}
+	if hubs < 1 {
+		return 0, 0, fmt.Errorf("%w (got %d)", ErrBadHubs, hubs)
+	}
+	if fanout < 0 {
+		return 0, 0, fmt.Errorf("%w (got %d)", ErrBadHubFanout, fanout)
+	}
+	if hubs > nodes || nodes%hubs != 0 {
+		return 0, 0, fmt.Errorf("%w (%d hubs over %d nodes)", ErrTopologyMismatch, hubs, nodes)
+	}
+	derived := nodes / hubs
+	if fanout != 0 && fanout != derived {
+		return 0, 0, fmt.Errorf("%w (%d hubs x fanout %d != %d nodes)", ErrTopologyMismatch, hubs, fanout, nodes)
+	}
+	return hubs, derived, nil
+}
+
 // ShardConfig configures the parallel simulation fabric.
 type ShardConfig struct {
 	// Workers is the number of window workers; <= 1 runs every window
@@ -100,6 +154,18 @@ type ShardConfig struct {
 	// Hop is the cross-shard network latency and PDES lookahead.
 	// 0 means DefaultHop.
 	Hop event.Time
+	// Hubs splits the fleet into that many regional sub-hubs, each
+	// owning a contiguous equal slice of the nodes and making routing
+	// decisions locally (see tree.go). 0 or 1 keeps the flat
+	// single-hub fabric. Hubs must evenly divide the node count.
+	Hubs int
+	// HubFanout optionally pins nodes-per-hub; 0 derives it from Hubs.
+	// When both are set, Hubs x HubFanout must equal the node count.
+	HubFanout int
+	// SummaryEvery is the hub-tree beacon period (belief broadcasts and
+	// batched completion echoes). 0 means DefaultSummaryEvery. Ignored
+	// by the flat fabric.
+	SummaryEvery event.Time
 }
 
 func (sc ShardConfig) hop() event.Time {
@@ -109,10 +175,21 @@ func (sc ShardConfig) hop() event.Time {
 	return DefaultHop
 }
 
+func (sc ShardConfig) summaryEvery() event.Time {
+	if sc.SummaryEvery > 0 {
+		return sc.SummaryEvery
+	}
+	return DefaultSummaryEvery
+}
+
 // NewShardedDispatcher builds a fleet with one engine shard per node
 // plus a hub shard for the dispatcher, advanced by a parsim driver with
 // the given worker count. The result is byte-for-byte equivalent across
-// worker counts, including Workers=1.
+// worker counts, including Workers=1. With sc.Hubs > 1 the fleet is a
+// hub tree instead (see tree.go): the returned handle fans Submit out
+// over regional sub-dispatchers, each with its own hub shard over a
+// contiguous slice of the nodes. Invalid topologies panic; use
+// ValidateTopology for an error-returning precheck.
 func NewShardedDispatcher(policy Policy, adm Admission, sc ShardConfig, cfgs ...NodeConfig) *ShardedDispatcher {
 	if policy == nil {
 		panic("cluster: nil policy")
@@ -120,8 +197,30 @@ func NewShardedDispatcher(policy Policy, adm Admission, sc ShardConfig, cfgs ...
 	if len(cfgs) == 0 {
 		panic("cluster: fleet needs at least one node")
 	}
+	hubs, fanout, err := ValidateTopology(sc.Hubs, sc.HubFanout, len(cfgs))
+	if err != nil {
+		panic(err.Error())
+	}
 	hop := sc.hop()
 	drv := parsim.NewDriver(hop, sc.Workers)
+	// Fill in default node names against the whole fleet before any
+	// region slicing, so "node7" means the same node at every topology.
+	named := make([]NodeConfig, len(cfgs))
+	for i, cfg := range cfgs {
+		if cfg.Name == "" {
+			cfg.Name = fmt.Sprintf("node%d", i)
+		}
+		named[i] = cfg
+	}
+	if hubs <= 1 {
+		return newRegion(drv, policy, adm, hop, named)
+	}
+	return newHubTree(drv, policy, adm, hop, sc.summaryEvery(), hubs, fanout, named)
+}
+
+// newRegion builds one hub shard plus its node shards on the shared
+// driver — the whole fleet when flat, one region of the tree otherwise.
+func newRegion(drv *parsim.Driver, policy Policy, adm Admission, hop event.Time, cfgs []NodeConfig) *ShardedDispatcher {
 	d := &ShardedDispatcher{
 		drv:    drv,
 		hub:    drv.AddShard(),
@@ -132,9 +231,6 @@ func NewShardedDispatcher(policy Policy, adm Admission, sc ShardConfig, cfgs ...
 	}
 	d.estimating = policyUsesEstimates(policy)
 	for i, cfg := range cfgs {
-		if cfg.Name == "" {
-			cfg.Name = fmt.Sprintf("node%d", i)
-		}
 		shard := drv.AddShard()
 		sn := &shardNode{
 			node:     NewNode(shard.Engine(), cfg),
@@ -165,7 +261,10 @@ func (d *ShardedDispatcher) wireNode(idx int, sn *shardNode) {
 			return
 		}
 		id := b.ID
-		sn.shard.SendAfter(d.hub, d.hop, func() { d.onStarted(idx, id, token, at) })
+		// EarliestTo, not a fixed hop: on the hub tree the node->hub
+		// echo edge is beacon-gridded, and this is now + hop on the
+		// flat fabric either way.
+		sn.shard.Send(d.hub, sn.shard.EarliestTo(d.hub), func() { d.onStarted(idx, id, token, at) })
 	}
 	rt.OnComplete = func(res runtime.BatchResult, err error) {
 		sn.node.busy += res.Completed - res.Start
@@ -178,8 +277,10 @@ func (d *ShardedDispatcher) wireNode(idx int, sn *shardNode) {
 		failed := err != nil
 		// The echo carries the full execution record: the hub's OnDone
 		// observers (the serving front end) read per-job spans from it.
-		// The node shard never touches res again, so the hub may.
-		sn.shard.SendAfter(d.hub, d.hop, func() { d.onCompleted(idx, res, failed, token) })
+		// The node shard never touches res again, so the hub may. The
+		// EarliestTo bound rides the beacon grid on the hub tree and is
+		// now + hop on the flat fabric.
+		sn.shard.Send(d.hub, sn.shard.EarliestTo(d.hub), func() { d.onCompleted(idx, res, failed, token) })
 	}
 }
 
@@ -197,6 +298,13 @@ func (d *ShardedDispatcher) Hop() event.Time { return d.hop }
 // Between construction and Run their state is safe to read; during Run
 // it belongs to the node shards.
 func (d *ShardedDispatcher) Nodes() []*Node {
+	if d.tree != nil {
+		var nodes []*Node
+		for _, r := range d.tree.regions {
+			nodes = append(nodes, r.Nodes()...)
+		}
+		return nodes
+	}
 	nodes := make([]*Node, len(d.sns))
 	for i, sn := range d.sns {
 		nodes[i] = sn.node
@@ -207,6 +315,9 @@ func (d *ShardedDispatcher) Nodes() []*Node {
 // Submit registers a batch arrival at b.Arrival on the hub. Must be
 // called before Run; same contract as Dispatcher.Submit.
 func (d *ShardedDispatcher) Submit(b *runtime.Batch) error {
+	if d.tree != nil {
+		return d.tree.submit(b)
+	}
 	if b == nil {
 		return runtime.ErrNilBatch
 	}
@@ -232,14 +343,26 @@ func (d *ShardedDispatcher) Submit(b *runtime.Batch) error {
 
 // HubEngine returns the hub shard's engine. Front ends seed arrival
 // events here before Run; during Run only events already executing on
-// the hub may touch it.
-func (d *ShardedDispatcher) HubEngine() *event.Engine { return d.hub.Engine() }
+// the hub may touch it. On a hub tree this is region 0's hub — the
+// region that hosts hub-resident front ends (internal/serve).
+func (d *ShardedDispatcher) HubEngine() *event.Engine {
+	if d.tree != nil {
+		return d.tree.regions[0].HubEngine()
+	}
+	return d.hub.Engine()
+}
 
 // RecordAssignments makes every node retain per-job schedule
 // assignments on its batch results, so completion echoes carry the
 // observed per-job spans the serving front end inverts for online
 // retraining. Call before Run.
 func (d *ShardedDispatcher) RecordAssignments() {
+	if d.tree != nil {
+		for _, r := range d.tree.regions {
+			r.RecordAssignments()
+		}
+		return
+	}
 	for _, sn := range d.sns {
 		sn.node.rt.KeepAssignments = true
 	}
@@ -251,6 +374,11 @@ func (d *ShardedDispatcher) RecordAssignments() {
 // shard (or before Run). Same validation contract as Submit; b.Arrival
 // should already be set for latency accounting.
 func (d *ShardedDispatcher) Inject(b *runtime.Batch) error {
+	if d.tree != nil {
+		// Hub-resident front ends live on region 0's shard; their batches
+		// enter there and may still migrate by overflow forwarding.
+		return d.tree.regions[0].Inject(b)
+	}
 	if b == nil {
 		return runtime.ErrNilBatch
 	}
@@ -279,6 +407,12 @@ func (d *ShardedDispatcher) Inject(b *runtime.Batch) error {
 // while the horizon is ahead, so an open-loop front end injecting
 // batches mid-run keeps failure detection alive even across idle gaps.
 func (d *ShardedDispatcher) ExtendHorizon(t event.Time) {
+	if d.tree != nil {
+		for _, r := range d.tree.regions {
+			r.ExtendHorizon(t)
+		}
+		return
+	}
 	if t > d.lastArrival {
 		d.lastArrival = t
 	}
@@ -292,6 +426,12 @@ func (d *ShardedDispatcher) ExtendHorizon(t event.Time) {
 // with estimate-booking policies; estimate-blind policies see drains of
 // zero. Must run on the hub (inside an event during Run, or before Run).
 func (d *ShardedDispatcher) PredictedCompletion(jobs []*sched.Job) (event.Time, bool) {
+	if d.tree != nil {
+		// Admission rides the local sub-hub predictor: region 0's views
+		// are the front end's one-round-trip-fresh picture; remote
+		// regions are only reachable by overflow forwarding anyway.
+		return d.tree.regions[0].PredictedCompletion(jobs)
+	}
 	now := d.hub.Engine().Now()
 	probe := &runtime.Batch{ID: -1, Arrival: now, Jobs: jobs}
 	best, found := event.Time(0), false
@@ -350,8 +490,16 @@ func (d *ShardedDispatcher) settle(tr *tracker, o Outcome, node string, res runt
 
 // OnDone registers the hub-side terminal-state observer. Set before Run;
 // the hook runs inside hub events, so it may legally call Inject,
-// PredictedCompletion, and the hub engine.
-func (d *ShardedDispatcher) OnDone(fn func(DoneInfo)) { d.onDone = fn }
+// PredictedCompletion, and the hub engine. On a hub tree the hook runs
+// on region 0's shard: its own settles call it directly, sibling
+// regions relay theirs over a peer edge.
+func (d *ShardedDispatcher) OnDone(fn func(DoneInfo)) {
+	if d.tree != nil {
+		d.tree.onDone = fn
+		return
+	}
+	d.onDone = fn
+}
 
 // eligible mirrors Dispatcher.eligible against a view.
 func (d *ShardedDispatcher) eligible(v *Node, b *runtime.Batch) bool {
@@ -391,6 +539,11 @@ func (d *ShardedDispatcher) dispatch(b *runtime.Batch, attempt int, avoid *Node)
 		eligible = fallback
 	}
 	if len(eligible) == 0 {
+		// A saturated region offers the batch to a less-loaded sibling
+		// before burning local retries (no-op on the flat fabric).
+		if d.reg != nil && d.tryForward(tr) {
+			return
+		}
 		if attempt < d.adm.MaxRetries {
 			d.retries++
 			d.hub.Engine().After(retryDelay(d.adm.backoff(), attempt), func() { d.dispatch(b, attempt+1, avoid) })
@@ -546,6 +699,9 @@ func (d *ShardedDispatcher) ticking() bool {
 // execution-error coins flip node-side with the attempt index carried
 // in the dispatch message, and liveness is hub ping -> node pong.
 func (d *ShardedDispatcher) EnableFaults(fc FaultConfig) error {
+	if d.tree != nil {
+		return d.tree.enableFaults(fc)
+	}
 	if d.faults != nil {
 		return fmt.Errorf("cluster: faults already enabled")
 	}
@@ -724,12 +880,20 @@ func mergedHealth(real, view *Node) Health {
 // busy time, crashes, lost arrays) come from the node shards; failure
 // attribution and terminal-state counters from the hub.
 func (d *ShardedDispatcher) Run() Summary {
+	if d.tree != nil {
+		return d.tree.run(d)
+	}
 	d.drv.Run()
 	s := Summary{Policy: d.policy.Name(), Submitted: d.submitted,
 		Completed: d.completed, Shed: d.shed, Retries: d.retries,
 		Redispatches: d.redispatches, DeadLettered: d.deadLettered,
 		ExecErrors: d.execErrors, Timeouts: d.timeouts,
 	}
+	return summarize(s, d.rollups(), d.tenants)
+}
+
+// rollups assembles the per-node summary rows for this hub's nodes.
+func (d *ShardedDispatcher) rollups() []nodeRollup {
 	rollups := make([]nodeRollup, 0, len(d.sns))
 	for i, sn := range d.sns {
 		v := d.views[i]
@@ -743,5 +907,5 @@ func (d *ShardedDispatcher) Run() Summary {
 		}
 		rollups = append(rollups, r)
 	}
-	return summarize(s, rollups, d.tenants)
+	return rollups
 }

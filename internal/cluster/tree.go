@@ -1,0 +1,366 @@
+package cluster
+
+import (
+	"fmt"
+
+	"mlimp/internal/event"
+	"mlimp/internal/event/parsim"
+	"mlimp/internal/fault"
+	"mlimp/internal/runtime"
+)
+
+// Hierarchical sharded dispatch. A hub tree replaces the single global
+// hub with R regional sub-hubs, each an ordinary ShardedDispatcher over
+// a contiguous slice of the fleet: admission, routing, booking tokens,
+// deadlines, breakers, and liveness all run region-locally, exactly as
+// on the flat fabric, just over fewer views. What crosses regions is
+// deliberately thin and window-local:
+//
+//   - arrivals are sprayed round-robin over the regions at Submit time
+//     (the Tesseract lesson: no coordinator shard on the fast path);
+//   - each sub-hub broadcasts a summarised load belief (its total
+//     outstanding bookings) to its ring neighbours on a beacon grid
+//     every SummaryEvery;
+//   - a region whose every local queue is at the admission bound
+//     forwards the overflowing batch once to the ring neighbour it
+//     believes least loaded — peer-to-peer batch stealing — before
+//     falling back to local retry/shed;
+//   - on the fault-free fabric, node->hub completion echoes ride the
+//     same beacon grid, batching a whole period's completions into one
+//     canonical mailbox merge.
+//
+// The grid edges are what make the tree scale: declaring them to the
+// parsim driver (SetEdge) switches it to per-shard conservative
+// horizons, so two regions that only talk through a beacon edge are
+// provably independent for a whole period at a time and their node
+// shards execute dense local work — the Algorithm-2 scheduling passes —
+// in the same window instead of serialising into hop-wide slices.
+// Determinism is inherited, not re-proven: every cross-region
+// interaction is a mailbox message merged in canonical (at, src, seq)
+// order at a barrier whose placement depends only on simulated time,
+// so summaries stay byte-identical at any worker count.
+//
+// With faults enabled the tree trades window width back for
+// promptness: every edge is re-declared as a plain hop so completion
+// echoes, deadline aborts, and ping/pong liveness keep flat-fabric
+// timing within each region.
+type hubTree struct {
+	regions      []*ShardedDispatcher
+	fanout       int
+	summaryEvery event.Time
+	hop          event.Time
+	policy       Policy // fleet-level policy (regions hold clones)
+	onDone       func(DoneInfo)
+	faulty       bool
+	seen         map[int]bool // fleet-wide Submit/Inject batch-ID dedupe
+	spray        int          // round-robin arrival cursor
+	prepared     bool
+}
+
+// regionState is one region's place in the tree: its index, its ring
+// neighbours, and its beliefs about sibling load. beliefs is hub-shard
+// state of this region — only events on this region's hub touch it.
+type regionState struct {
+	t          *hubTree
+	idx        int
+	beliefs    []int                // believed outstanding per region; -1 unknown
+	peers      []*ShardedDispatcher // ring neighbours, cached at prepare
+	lastBeacon int                  // last load value beaconed; -1 before the first
+	stolen     int                  // batches forwarded away (tests read this)
+	taken      int                  // batches received by forwarding
+}
+
+// newHubTree builds the regional sub-dispatchers on the shared driver.
+// Shard order is regions in index order, hub first then its nodes, so
+// shard IDs — and with them every canonical merge tie-break — are a
+// pure function of the topology.
+func newHubTree(drv *parsim.Driver, policy Policy, adm Admission, hop, summaryEvery event.Time,
+	hubs, fanout int, cfgs []NodeConfig) *ShardedDispatcher {
+	t := &hubTree{
+		fanout:       fanout,
+		summaryEvery: summaryEvery,
+		hop:          hop,
+		policy:       policy,
+		seen:         map[int]bool{},
+	}
+	for r := 0; r < hubs; r++ {
+		reg := newRegion(drv, clonePolicy(policy), adm, hop, cfgs[r*fanout:(r+1)*fanout])
+		beliefs := make([]int, hubs)
+		for i := range beliefs {
+			beliefs[i] = -1
+		}
+		reg.reg = &regionState{t: t, idx: r, beliefs: beliefs, lastBeacon: -1}
+		t.regions = append(t.regions, reg)
+	}
+	return &ShardedDispatcher{drv: drv, hop: hop, policy: policy, adm: adm, tree: t}
+}
+
+// clonePolicy gives each region its own policy instance so stateful
+// policies (round-robin's rotation cursor) stay region-local and
+// deterministic under the spray. Policies may implement
+// Clone() Policy; otherwise a registered policy is re-instantiated by
+// name, and unknown stateless policies are shared as-is.
+func clonePolicy(p Policy) Policy {
+	if c, ok := p.(interface{ Clone() Policy }); ok {
+		return c.Clone()
+	}
+	if q, ok := PolicyByName(p.Name()); ok {
+		return q
+	}
+	return p
+}
+
+// submit validates fleet-wide and sprays the arrival onto the next
+// region in round-robin order — submission order, not batch ID, drives
+// the spray, so ID schemes don't bias region load.
+func (t *hubTree) submit(b *runtime.Batch) error {
+	if b == nil {
+		return runtime.ErrNilBatch
+	}
+	if len(b.Jobs) == 0 {
+		return fmt.Errorf("%w (batch %d)", runtime.ErrEmptyBatch, b.ID)
+	}
+	if t.seen[b.ID] {
+		return fmt.Errorf("cluster: duplicate batch ID %d", b.ID)
+	}
+	t.seen[b.ID] = true
+	r := t.regions[t.spray%len(t.regions)]
+	t.spray++
+	return r.Submit(b)
+}
+
+// ring returns the region's ring neighbours (one when R == 2).
+func (t *hubTree) ring(idx int) []*ShardedDispatcher {
+	n := len(t.regions)
+	right := t.regions[(idx+1)%n]
+	left := t.regions[(idx+n-1)%n]
+	if left == right {
+		return []*ShardedDispatcher{right}
+	}
+	// Right first: the tie-break target when beliefs are equal/unknown.
+	return []*ShardedDispatcher{right, left}
+}
+
+// tryForward implements overflow stealing, called from dispatch on the
+// region's hub when no local view is eligible. The batch moves at most
+// once (forwarded batches carry their hop count), to the ring
+// neighbour with the lowest believed load — beliefs are beacon-fresh,
+// i.e. up to one SummaryEvery stale, which is exactly the summarised
+// state the tree is allowed to share. Returns false to fall back to
+// local retry/shed.
+func (d *ShardedDispatcher) tryForward(tr *tracker) bool {
+	rs := d.reg
+	if tr.fwds > 0 {
+		return false
+	}
+	// Lowest believed load wins; a known load beats an unknown one, and
+	// ties keep the right-hand neighbour (ring order).
+	peers := rs.peers
+	best := peers[0]
+	bestLoad := rs.beliefs[best.reg.idx]
+	for _, p := range peers[1:] {
+		if l := rs.beliefs[p.reg.idx]; l >= 0 && (bestLoad < 0 || l < bestLoad) {
+			best, bestLoad = p, l
+		}
+	}
+	// Disown the batch before it travels: stale local closures (retry
+	// timers, deadline guards) find no tracker and fall through.
+	delete(d.trk, tr.b.ID)
+	d.pending--
+	rs.stolen++
+	b, fwds, dst := tr.b, tr.fwds+1, best
+	d.hub.Send(dst.hub, d.hub.EarliestTo(dst.hub), func() { dst.receiveForward(b, fwds) })
+	return true
+}
+
+// receiveForward adopts a stolen batch on the receiving region's hub:
+// a fresh tracker (the sender already disowned it, so fleet-wide the
+// batch still has exactly one owner) and a normal local dispatch with
+// a fresh retry budget. Submitted is not re-counted — the sender's
+// region did that — so merged conservation still balances.
+func (d *ShardedDispatcher) receiveForward(b *runtime.Batch, fwds int) {
+	if _, dup := d.trk[b.ID]; dup {
+		panic(fmt.Sprintf("cluster: forwarded batch %d already tracked in region %d", b.ID, d.reg.idx))
+	}
+	tr := &tracker{b: b, fwds: fwds}
+	d.trk[b.ID] = tr
+	d.pending++
+	d.reg.taken++
+	d.dispatch(b, 0, nil)
+}
+
+// prepare declares the fleet's communication edges and arms the belief
+// beacons — the step that switches the parsim driver into per-shard
+// conservative horizons. Runs once, immediately before the driver.
+func (t *hubTree) prepare() {
+	if t.prepared {
+		return
+	}
+	t.prepared = true
+	prompt := parsim.EdgeLatency{Fixed: t.hop}
+	beacon := parsim.EdgeLatency{Fixed: t.hop, Grid: t.summaryEvery}
+	if t.faulty {
+		// Fault mode needs flat-fabric promptness: completion echoes
+		// race deadlines, pongs feed the liveness limit.
+		beacon = prompt
+	}
+	drv := t.regions[0].drv
+	for _, r := range t.regions {
+		r.reg.peers = t.ring(r.reg.idx)
+		for _, sn := range r.sns {
+			drv.SetEdge(r.hub, sn.shard, prompt)
+			drv.SetEdge(sn.shard, r.hub, beacon)
+		}
+		for _, p := range r.reg.peers {
+			drv.SetEdge(r.hub, p.hub, beacon)
+		}
+	}
+	if t.onDone != nil {
+		// Terminal-state relays flow to region 0, where the front end
+		// lives; ring edges already cover the adjacent regions and
+		// SetEdge replaces duplicates, so declaring all is harmless.
+		for _, r := range t.regions[1:] {
+			drv.SetEdge(r.hub, t.regions[0].hub, beacon)
+		}
+	}
+	t.wireDone()
+	for _, r := range t.regions {
+		t.armBeacon(r)
+	}
+}
+
+// wireDone points every region's settle hook at the tree-level
+// observer. Region 0 hosts the observer (and the front end), so its
+// settles call straight through; sibling regions relay the DoneInfo
+// over their edge to region 0, preserving DoneInfo.At as the
+// originating region's settle time.
+func (t *hubTree) wireDone() {
+	if t.onDone == nil {
+		return
+	}
+	r0 := t.regions[0]
+	r0.onDone = t.onDone
+	for _, r := range t.regions[1:] {
+		r := r
+		r.onDone = func(di DoneInfo) {
+			r.hub.Send(r0.hub, r.hub.EarliestTo(r0.hub), func() { t.onDone(di) })
+		}
+	}
+}
+
+// armBeacon starts one region's summarised-load broadcast: every
+// SummaryEvery (while the region still has work or expects more), the
+// hub snapshots its total outstanding bookings and sends the value —
+// captured by value, the receiving shard never reads sender state —
+// to each ring neighbour.
+func (t *hubTree) armBeacon(r *ShardedDispatcher) {
+	idx := r.reg.idx
+	var tick func()
+	tick = func() {
+		load := 0
+		for _, v := range r.views {
+			load += v.Outstanding()
+		}
+		// An unchanged load is already what the peers believe (the first
+		// tick always sends: lastBeacon starts at -1 and load is >= 0),
+		// so re-sending it would only allocate closures to no effect.
+		if load != r.reg.lastBeacon {
+			r.reg.lastBeacon = load
+			for _, p := range r.reg.peers {
+				p := p
+				r.hub.Send(p.hub, r.hub.EarliestTo(p.hub), func() { p.reg.beliefs[idx] = load })
+			}
+		}
+		if r.ticking() {
+			r.hub.Engine().After(t.summaryEvery, tick)
+		}
+	}
+	r.hub.Engine().At(t.summaryEvery, tick)
+}
+
+// enableFaults validates the plan fleet-wide, then splits it into
+// per-region slices: each sub-hub runs the full failure-aware fabric —
+// breakers, deadlines, ping/pong liveness, eviction, re-dispatch —
+// over its own nodes. The ExecError coin is a pure function of
+// (Seed, batch, attempt), so filtering the plan never changes a draw.
+func (t *hubTree) enableFaults(fc FaultConfig) error {
+	if t.faulty {
+		return fmt.Errorf("cluster: faults already enabled")
+	}
+	if err := fc.Plan.Validate(); err != nil {
+		return err
+	}
+	owner := map[string]int{}
+	for ri, r := range t.regions {
+		for _, sn := range r.sns {
+			owner[sn.node.Name] = ri
+		}
+	}
+	if fc.Plan != nil {
+		for _, f := range fc.Plan.ArrayFaults {
+			if _, ok := owner[f.Node]; !ok {
+				return fmt.Errorf("cluster: array fault names unknown node %q", f.Node)
+			}
+		}
+		for _, c := range fc.Plan.Crashes {
+			if _, ok := owner[c.Node]; !ok {
+				return fmt.Errorf("cluster: crash names unknown node %q", c.Node)
+			}
+		}
+	}
+	t.faulty = true
+	for ri, r := range t.regions {
+		rfc := fc
+		if fc.Plan != nil {
+			sub := &fault.Plan{Seed: fc.Plan.Seed, ExecErrorProb: fc.Plan.ExecErrorProb}
+			for _, f := range fc.Plan.ArrayFaults {
+				if owner[f.Node] == ri {
+					sub.ArrayFaults = append(sub.ArrayFaults, f)
+				}
+			}
+			for _, c := range fc.Plan.Crashes {
+				if owner[c.Node] == ri {
+					sub.Crashes = append(sub.Crashes, c)
+				}
+			}
+			rfc.Plan = sub
+		}
+		if err := r.EnableFaults(rfc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// run advances the whole tree to quiescence and merges the regional
+// summaries in region order — which is node-configuration order, so a
+// tree summary lists nodes exactly where the flat summary would.
+func (t *hubTree) run(parent *ShardedDispatcher) Summary {
+	t.prepare()
+	parent.drv.Run()
+	s := Summary{Policy: t.policy.Name()}
+	var rollups []nodeRollup
+	tenants := map[string]*tenantCounts{}
+	for _, r := range t.regions {
+		s.Submitted += r.submitted
+		s.Completed += r.completed
+		s.Shed += r.shed
+		s.Retries += r.retries
+		s.Redispatches += r.redispatches
+		s.DeadLettered += r.deadLettered
+		s.ExecErrors += r.execErrors
+		s.Timeouts += r.timeouts
+		rollups = append(rollups, r.rollups()...)
+		for name, c := range r.tenants {
+			m := bumpTenant(&tenants, name)
+			m.submitted += c.submitted
+			m.completed += c.completed
+			m.shed += c.shed
+			m.deadLettered += c.deadLettered
+		}
+	}
+	if len(tenants) == 0 {
+		tenants = nil
+	}
+	return summarize(s, rollups, tenants)
+}

@@ -25,10 +25,23 @@
 // per-pair sequence numbers realise the "global seq ranges per shard
 // per window" tie-break: within one delivery timestamp, messages order
 // by source shard ID, then by the order the source sent them.
+// Uniform lookahead is the right model when every shard pair is one
+// network hop apart — the flat hub fabric. Hierarchical fabrics have
+// structured latencies: dispatch edges are prompt (one hop), while
+// summarised state flows upward on a beacon grid (a sub-hub only emits
+// load beliefs at multiples of a summary period). Declaring those edges
+// (SetEdge) switches the driver to per-shard conservative horizons: at
+// each barrier it computes, per shard, the earliest instant any other
+// shard could possibly influence it — the fixpoint of earliest-event
+// propagation over the declared edge latencies — and lets every shard
+// run to its own horizon. Events that are minutes of simulated time
+// apart on shards that only talk through a slow beacon edge then
+// execute in one window instead of serialising into hop-wide slices.
 package parsim
 
 import (
 	"fmt"
+	"math"
 	"slices"
 	"sync"
 
@@ -43,16 +56,53 @@ type message struct {
 	fn  func()
 }
 
+// inf is the horizon of a shard nothing can influence.
+const inf = event.Time(math.MaxInt64)
+
+// EdgeLatency describes the minimum delivery latency of one directed
+// shard edge. Fixed must be positive: it is the network latency every
+// message pays, and the strict time advance the conservative horizon
+// computation needs for progress. A positive Grid additionally
+// quantises departures to a beacon schedule: a message sent at t leaves
+// at the next multiple of Grid (inclusive — a send exactly on the grid
+// departs immediately) and arrives Fixed later. Grid edges model
+// summarised-state channels — belief uplinks that batch everything
+// since the last beacon — and are what lets the horizon computation
+// prove two shards independent for a whole beacon period at a time.
+type EdgeLatency struct {
+	Fixed event.Time
+	Grid  event.Time
+}
+
+// arrival returns the earliest instant a message sent at t can be
+// delivered over this edge. Monotone in t, and strictly greater than t
+// (Fixed > 0), which the horizon fixpoint relies on.
+func (l EdgeLatency) arrival(t event.Time) event.Time {
+	if l.Grid > 0 {
+		if r := t % l.Grid; r != 0 {
+			t += l.Grid - r
+		}
+	}
+	return t + l.Fixed
+}
+
+// edge is one declared directed edge.
+type edge struct {
+	src, dst int
+	lat      EdgeLatency
+}
+
 // Shard is one partition of the simulation: a private engine plus the
 // outboxes feeding every other shard. A shard's engine may only be
 // touched by the goroutine currently executing that shard's window (or
 // by anyone between Run calls / before Run).
 type Shard struct {
-	id  int
-	drv *Driver
-	eng *event.Engine
-	out [][]message // outboxes indexed by destination shard ID
-	seq []uint64    // per-destination send counters
+	id    int
+	drv   *Driver
+	eng   *event.Engine
+	out   [][]message // outboxes indexed by destination shard ID
+	seq   []uint64    // per-destination send counters
+	limit event.Time  // this window's execution horizon (driver-owned)
 }
 
 // ID returns the shard's index in driver order.
@@ -73,18 +123,52 @@ func (s *Shard) Send(dst *Shard, at event.Time, fn func()) {
 	if s.drv != dst.drv {
 		panic("parsim: send across drivers")
 	}
-	if at < s.eng.Now()+s.drv.lookahead {
-		panic(fmt.Sprintf("parsim: send at %d violates lookahead %d from now %d",
-			at, s.drv.lookahead, s.eng.Now()))
+	if min := s.EarliestTo(dst); at < min {
+		panic(fmt.Sprintf("parsim: send %d->%d at %d violates edge bound %d from now %d",
+			s.id, dst.id, at, min, s.eng.Now()))
+	}
+	if dst.id >= len(s.out) {
+		s.growRows(len(s.drv.shards))
 	}
 	s.seq[dst.id]++
 	s.out[dst.id] = append(s.out[dst.id], message{at: at, src: s.id, seq: s.seq[dst.id], fn: fn})
+}
+
+// growRows widens the outbox and sequence rows to n destinations,
+// preserving anything already queued (setup-time sends land before Run
+// sizes the rows for the final fleet).
+func (s *Shard) growRows(n int) {
+	out := make([][]message, n)
+	copy(out, s.out)
+	s.out = out
+	seq := make([]uint64, n)
+	copy(seq, s.seq)
+	s.seq = seq
 }
 
 // SendAfter schedules fn on dst d after the sending shard's current
 // time. d must be at least the driver's lookahead.
 func (s *Shard) SendAfter(dst *Shard, d event.Time, fn func()) {
 	s.Send(dst, s.eng.Now()+d, fn)
+}
+
+// EarliestTo returns the earliest timestamp a message from s may carry
+// to dst right now — the Send contract. With declared edges this is the
+// edge's arrival bound (and sending on an undeclared pair panics: the
+// horizon computation proved shards independent assuming messages only
+// flow on declared edges); otherwise it is now + the uniform lookahead.
+func (s *Shard) EarliestTo(dst *Shard) event.Time {
+	if !s.drv.horizons {
+		return s.eng.Now() + s.drv.lookahead
+	}
+	if s.id < len(s.drv.edgeOut) {
+		for _, e := range s.drv.edgeOut[s.id] {
+			if e.dst == dst.id {
+				return e.lat.arrival(s.eng.Now())
+			}
+		}
+	}
+	panic(fmt.Sprintf("parsim: no edge declared from shard %d to %d", s.id, dst.id))
 }
 
 // Driver owns the shards and advances them window by window.
@@ -95,12 +179,22 @@ type Driver struct {
 	ran       bool
 	stats     Stats
 
-	// Window state shared with the worker pool. deadline is written by
-	// the driver goroutine before any shard is handed to a worker; the
-	// channel send/receive pair orders the write before every read.
-	deadline event.Time
-	work     chan *Shard
-	wg       sync.WaitGroup
+	// Declared-edge state (horizon mode). edgeOut indexes edges by
+	// source shard; next/bound/horizon are the per-barrier fixpoint
+	// scratch, allocated once at Run.
+	horizons bool
+	edges    []edge
+	edgeOut  [][]edge
+	next     []event.Time
+	bound    []event.Time
+	horizon  []event.Time
+
+	// Window state shared with the worker pool. Each shard's limit is
+	// written by the driver goroutine before the shard is handed to a
+	// worker; the channel send/receive pair orders the write before
+	// every read.
+	work chan *Shard
+	wg   sync.WaitGroup
 
 	// mergeBuf is the barrier's reusable merge scratch: deliver gathers
 	// every destination's incoming messages here, sorts, inserts, and
@@ -132,6 +226,13 @@ func NewDriver(lookahead event.Time, workers int) *Driver {
 type Stats struct {
 	Windows   int // barriers executed
 	MaxActive int // most shards runnable in one window
+	// Hist is the per-window active-shard histogram: Hist[k] counts the
+	// windows in which exactly k shards were runnable (index 0 unused).
+	// The mean hides bimodal runs — a fleet that alternates all-shards
+	// windows with long strings of hub-only windows averages respectably
+	// while the workers idle most barriers; the histogram makes those
+	// hub-bound windows visible.
+	Hist      []int
 	activeSum int
 }
 
@@ -141,6 +242,32 @@ func (s Stats) AvgActive() float64 {
 		return 0
 	}
 	return float64(s.activeSum) / float64(s.Windows)
+}
+
+// String renders the window structure compactly, histogram included:
+// "windows=42 avg-active=3.20 max=8 hist[1]=12 hist[8]=30" (zero
+// buckets elided).
+func (s Stats) String() string {
+	out := fmt.Sprintf("windows=%d avg-active=%.2f max=%d", s.Windows, s.AvgActive(), s.MaxActive)
+	for k, n := range s.Hist {
+		if n > 0 {
+			out += fmt.Sprintf(" hist[%d]=%d", k, n)
+		}
+	}
+	return out
+}
+
+// record tallies one window with the given active-shard count.
+func (d *Driver) record(active int) {
+	d.stats.Windows++
+	d.stats.activeSum += active
+	if active > d.stats.MaxActive {
+		d.stats.MaxActive = active
+	}
+	if d.stats.Hist == nil {
+		d.stats.Hist = make([]int, len(d.shards)+1)
+	}
+	d.stats.Hist[active]++
 }
 
 // Stats returns the run's window statistics (zero before Run).
@@ -159,15 +286,56 @@ func (d *Driver) AddShard() *Shard {
 	}
 	s := &Shard{id: len(d.shards), drv: d, eng: &event.Engine{}}
 	d.shards = append(d.shards, s)
-	// Give every shard (including this one) an outbox row to s and
-	// grow s's own rows to cover the fleet so far.
-	for _, sh := range d.shards {
-		for len(sh.out) < len(d.shards) {
-			sh.out = append(sh.out, nil)
-			sh.seq = append(sh.seq, 0)
+	// Outbox and sequence rows are sized once in Run, when the fleet is
+	// final — growing them per AddShard is quadratic in shard count and
+	// lands on the hot path of callers that build a fabric per run.
+	return s
+}
+
+// SetEdge declares a directed communication edge with its latency class
+// and switches the driver to per-shard conservative horizons. Once any
+// edge is declared, messages may only flow on declared edges — the
+// horizon computation's independence proofs assume exactly that — and
+// every edge used by the simulation must be declared before Run.
+// Declaring the same (src, dst) pair again replaces its latency.
+func (d *Driver) SetEdge(src, dst *Shard, lat EdgeLatency) {
+	if d.ran {
+		panic("parsim: SetEdge after Run")
+	}
+	if src.drv != d || dst.drv != d {
+		panic("parsim: SetEdge with foreign shard")
+	}
+	if src == dst {
+		panic("parsim: self edges are implicit (a shard always reaches itself)")
+	}
+	if lat.Fixed <= 0 {
+		panic("parsim: edge Fixed latency must be positive")
+	}
+	if lat.Grid < 0 {
+		panic("parsim: negative edge Grid")
+	}
+	d.horizons = true
+	// Callers that build a fabric per run (the cluster benches construct
+	// a fresh dispatcher every iteration) pay SetEdge on the hot path,
+	// so the per-source adjacency is maintained incrementally rather
+	// than rebuilt per call.
+	for len(d.edgeOut) < len(d.shards) {
+		d.edgeOut = append(d.edgeOut, nil)
+	}
+	e := edge{src: src.id, dst: dst.id, lat: lat}
+	for i := range d.edges {
+		if d.edges[i].src == src.id && d.edges[i].dst == dst.id {
+			d.edges[i].lat = lat
+			for j := range d.edgeOut[src.id] {
+				if d.edgeOut[src.id][j].dst == dst.id {
+					d.edgeOut[src.id][j].lat = lat
+				}
+			}
+			return
 		}
 	}
-	return s
+	d.edges = append(d.edges, e)
+	d.edgeOut[src.id] = append(d.edgeOut[src.id], e)
 }
 
 // Run drains every shard: windows open at the globally earliest pending
@@ -180,10 +348,32 @@ func (d *Driver) Run() event.Time {
 		panic("parsim: Run called twice")
 	}
 	d.ran = true
+	for _, s := range d.shards {
+		if len(s.out) < len(d.shards) {
+			s.growRows(len(d.shards))
+		}
+	}
 	if d.workers > 1 {
 		d.startPool()
 		defer close(d.work)
 	}
+	if d.horizons {
+		d.runHorizons()
+	} else {
+		d.runUniform()
+	}
+	var end event.Time
+	for _, s := range d.shards {
+		if now := s.eng.Now(); now > end {
+			end = now
+		}
+	}
+	return end
+}
+
+// runUniform is the flat-fabric window loop: every window opens at the
+// globally earliest pending event and closes a uniform lookahead later.
+func (d *Driver) runUniform() {
 	active := make([]*Shard, 0, len(d.shards))
 	for {
 		// Flush mailboxes first: this is the barrier after the previous
@@ -202,36 +392,104 @@ func (d *Driver) Run() event.Time {
 		active = active[:0]
 		for _, s := range d.shards {
 			if t, ok := s.eng.NextAt(); ok && t <= deadline {
+				s.limit = deadline
 				active = append(active, s)
 			}
 		}
-		d.stats.Windows++
-		d.stats.activeSum += len(active)
-		if len(active) > d.stats.MaxActive {
-			d.stats.MaxActive = len(active)
-		}
-		d.runWindow(active, deadline)
+		d.record(len(active))
+		d.runWindow(active)
 	}
-	var end event.Time
-	for _, s := range d.shards {
-		if now := s.eng.Now(); now > end {
-			end = now
-		}
-	}
-	return end
 }
 
-// runWindow executes every active shard up to the window deadline.
-// Windows with one active shard skip the pool: handing a lone shard to
-// a worker would buy no overlap and cost two channel hops.
-func (d *Driver) runWindow(active []*Shard, deadline event.Time) {
+// runHorizons is the declared-edge window loop. Each barrier computes,
+// per shard, a conservative horizon — the earliest instant any message
+// could still reach it — and lets every shard execute all events
+// strictly before its own horizon. The horizon is the fixpoint of
+// earliest-event propagation: starting from each shard's next pending
+// event time, relax every declared edge (earliest possible event on the
+// source implies a possible arrival on the destination) until stable;
+// a shard's horizon is then the min arrival over its incoming edges.
+// Because every edge advances time by at least its positive Fixed
+// latency, the fixpoint is the min over simple paths and converges in
+// at most len(shards) passes, and the shard holding the globally
+// earliest event always clears its own horizon — progress is
+// guaranteed. All inputs are simulated-time facts, so the window
+// structure (and Stats) is byte-identical at every worker count.
+func (d *Driver) runHorizons() {
+	n := len(d.shards)
+	d.next = make([]event.Time, n)
+	d.bound = make([]event.Time, n)
+	d.horizon = make([]event.Time, n)
+	active := make([]*Shard, 0, n)
+	for {
+		d.deliver()
+		any := false
+		for i, s := range d.shards {
+			if t, ok := s.eng.NextAt(); ok {
+				d.next[i], d.bound[i] = t, t
+				any = true
+			} else {
+				d.next[i], d.bound[i] = inf, inf
+			}
+		}
+		if !any {
+			break
+		}
+		// Fixpoint: bound[v] = min(next[v], min over edges u->v of
+		// arrival(bound[u])) — the earliest instant any event could
+		// possibly occur on v, own or induced.
+		for pass := 0; pass < n; pass++ {
+			changed := false
+			for _, e := range d.edges {
+				if d.bound[e.src] == inf {
+					continue
+				}
+				if a := e.lat.arrival(d.bound[e.src]); a < d.bound[e.dst] {
+					d.bound[e.dst] = a
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+		// Horizon[v]: the earliest possible *external* influence on v.
+		// Events strictly before it are causally independent of every
+		// other shard and safe to execute now.
+		for i := range d.horizon {
+			d.horizon[i] = inf
+		}
+		for _, e := range d.edges {
+			if d.bound[e.src] == inf {
+				continue
+			}
+			if a := e.lat.arrival(d.bound[e.src]); a < d.horizon[e.dst] {
+				d.horizon[e.dst] = a
+			}
+		}
+		active = active[:0]
+		for i, s := range d.shards {
+			if d.next[i] < d.horizon[i] {
+				s.limit = d.horizon[i] - 1 // runShard's bound is inclusive
+				active = append(active, s)
+			}
+		}
+		d.record(len(active))
+		d.runWindow(active)
+	}
+}
+
+// runWindow executes every active shard up to its own limit (set by the
+// window loop just before the call). Windows with one active shard skip
+// the pool: handing a lone shard to a worker would buy no overlap and
+// cost two channel hops.
+func (d *Driver) runWindow(active []*Shard) {
 	if d.workers == 1 || len(active) == 1 {
 		for _, s := range active {
-			runShard(s.eng, deadline)
+			runShard(s.eng, s.limit)
 		}
 		return
 	}
-	d.deadline = deadline
 	d.wg.Add(len(active))
 	for _, s := range active {
 		d.work <- s
@@ -262,7 +520,7 @@ func (d *Driver) startPool() {
 	for i := 0; i < d.workers; i++ {
 		go func() {
 			for s := range d.work {
-				runShard(s.eng, d.deadline)
+				runShard(s.eng, s.limit)
 				d.wg.Done()
 			}
 		}()

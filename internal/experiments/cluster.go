@@ -15,6 +15,10 @@ func init() {
 	register("cluster", "Extension: multi-node serving fabric — policy sweep over arrival rates", clusterExp)
 }
 
+// FleetNodes is the size of every bundled fleet (clusterFleet and its
+// derivatives) — the node count CLI topology flags validate against.
+const FleetNodes = 4
+
 // clusterFleet is the bundled heterogeneous fleet: one full node, two
 // partial layer mixes, and a ReRAM-only straggler whose 20 MHz arrays
 // make naive balancing expensive — the configuration the policy
@@ -41,11 +45,12 @@ func clusterExp() *Result {
 	)
 	t := &table{header: []string{"policy", "gap(ms)", "p50(ms)", "p99(ms)", "shed", "retries", "mean-util"}}
 	p99 := map[string]map[float64]float64{}
+	var windows string
 	for _, gapMs := range []float64{20, 5, 1} {
 		for _, name := range cluster.PolicyNames() {
 			p, _ := cluster.PolicyByName(name)
 			d := cluster.NewShardedDispatcher(p, cluster.Admission{MaxRetries: 4},
-				cluster.ShardConfig{Workers: simWorkers}, clusterFleet()...)
+				shardCfg(simWorkers), clusterFleet()...)
 			rng := rand.New(rand.NewSource(seed))
 			gap := event.Time(gapMs * float64(event.Millisecond))
 			for i, at := range cluster.PoissonArrivals(rng, nBatches, gap) {
@@ -53,6 +58,10 @@ func clusterExp() *Result {
 					Jobs: workload.RandomJobs(rng, jobsPerBatch, i*100)})
 			}
 			s := d.Run()
+			// One representative window-structure line per artefact: the
+			// per-window active-shard histogram of the tightest sweep cell
+			// (simulation-time fact — identical at every worker count).
+			windows = d.WindowStats().String()
 			var util float64
 			for _, n := range s.Nodes {
 				util += n.Utilization
@@ -72,6 +81,8 @@ func clusterExp() *Result {
 			ok = false
 		}
 	}
-	text := t.String() + fmt.Sprintf("predicted-cost p99 <= roundrobin p99 at every arrival rate: %v\n", ok)
+	text := t.String() +
+		fmt.Sprintf("sim hubs=%d %s\n", simHubs, windows) +
+		fmt.Sprintf("predicted-cost p99 <= roundrobin p99 at every arrival rate: %v\n", ok)
 	return &Result{ID: "cluster", Title: "multi-node serving fabric", Text: text}
 }

@@ -71,7 +71,7 @@ func faultsExp() *Result {
 		for _, name := range cluster.PolicyNames() {
 			p, _ := cluster.PolicyByName(name)
 			d := cluster.NewShardedDispatcher(p, cluster.Admission{MaxRetries: 4},
-				cluster.ShardConfig{Workers: simWorkers}, clusterFleet()...)
+				shardCfg(simWorkers), clusterFleet()...)
 			if err := d.EnableFaults(cluster.FaultConfig{
 				Plan:     sc.plan,
 				Deadline: 200 * event.Millisecond,
@@ -147,7 +147,7 @@ func faultServingCell(plan *fault.Plan) serve.Summary {
 	arr := serve.Trace(rng, serve.Poisson{MeanGap: 400 * event.Microsecond}, 0, 80*event.Millisecond)
 	reqs := src.Requests(rng, arr, 20*event.Millisecond)
 	d := cluster.NewShardedDispatcher(cluster.NewPredictedCost(), cluster.Admission{MaxRetries: 2},
-		cluster.ShardConfig{Workers: simWorkers}, clusterFleet()...)
+		shardCfg(simWorkers), clusterFleet()...)
 	if err := d.EnableFaults(cluster.FaultConfig{
 		Plan:     plan,
 		Deadline: 200 * event.Millisecond,

@@ -1,0 +1,55 @@
+package experiments
+
+import "testing"
+
+// replay runs one registered experiment under the given sim topology
+// and worker count, restoring the process-wide knobs afterwards.
+func replay(t *testing.T, id string, hubs, workers int) string {
+	t.Helper()
+	defer SetSimHubs(SimHubs())
+	defer SetSimWorkers(SimWorkers())
+	SetSimHubs(hubs)
+	SetSimWorkers(workers)
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %q not registered", id)
+	}
+	res := e.Run()
+	if len(res.Text) == 0 {
+		t.Fatalf("%s produced an empty artefact", id)
+	}
+	return res.Text
+}
+
+// TestHierarchicalEquivalence replays the fleet experiments — the chaos
+// cascade (faults) and the multi-tenant serving sweep — through the
+// sub-hub tree and asserts the parsim determinism contract end to end:
+// for a fixed topology the artefact is byte-identical at every worker
+// count. The flat replay doubles as the regression baseline: hubs=1
+// must reproduce exactly what the default single-hub fabric emits.
+func TestHierarchicalEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet replays are slow")
+	}
+	for _, id := range []string{"cluster", "faults", "multitenant"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			flat := replay(t, id, 1, 1)
+			if def := replay(t, id, SimHubs(), 1); SimHubs() == 1 && def != flat {
+				t.Error("hubs=1 replay diverges from the default fabric")
+			}
+			tree := replay(t, id, 2, 1)
+			for _, workers := range []int{2, 4, 8} {
+				if got := replay(t, id, 2, workers); got != tree {
+					t.Errorf("%s: hubs=2 workers=%d diverges from workers=1:\n%s\nvs\n%s",
+						id, workers, got, tree)
+				}
+			}
+			for _, workers := range []int{2, 4, 8} {
+				if got := replay(t, id, 1, workers); got != flat {
+					t.Errorf("%s: hubs=1 workers=%d diverges from workers=1", id, workers)
+				}
+			}
+		})
+	}
+}

@@ -131,7 +131,7 @@ func multiTenantServingCell(tenants int, packing sched.Packing, workers int) (se
 		cfgs[i].Packing = packing
 	}
 	d := cluster.NewShardedDispatcher(cluster.NewPredictedCost(), cluster.Admission{MaxRetries: 2},
-		cluster.ShardConfig{Workers: workers}, cfgs...)
+		shardCfg(workers), cfgs...)
 	d.RecordAssignments()
 	audit := newMTAudit()
 	fe, err := serve.New(d, serve.Config{

@@ -79,7 +79,7 @@ func servingCell(meanGap event.Time, admission bool) serve.Summary {
 	arr := serve.Trace(rng, serve.Poisson{MeanGap: meanGap}, 0, horizon)
 	reqs := src.Requests(rng, arr, slo)
 	d := cluster.NewShardedDispatcher(cluster.NewPredictedCost(), cluster.Admission{MaxRetries: 1},
-		cluster.ShardConfig{Workers: simWorkers}, servingFleet()...)
+		shardCfg(simWorkers), servingFleet()...)
 	fe, err := serve.New(d, serve.Config{
 		Requests: reqs, Budget: budget, BatchMax: 4,
 		PredictorAdmission: admission, BuildJob: src.BuildJob,

@@ -1,5 +1,7 @@
 package experiments
 
+import "mlimp/internal/cluster"
+
 // simWorkers is how many event-engine shards the fleet experiments
 // (cluster, faults) advance concurrently through the conservative
 // parallel driver (event/parsim). The default of 1 is the serial
@@ -20,3 +22,31 @@ func SetSimWorkers(n int) {
 
 // SimWorkers returns the current shard worker count.
 func SimWorkers() int { return simWorkers }
+
+// simHubs is how many regional sub-hubs the fleet experiments split
+// their dispatch tree into (cluster.ShardConfig.Hubs). The default of 1
+// is the flat single-hub fabric; higher values route every experiment
+// through the hierarchical tree (belief beacons, overflow stealing).
+// Routing — and with it the artefact — depends on the topology, but for
+// a fixed topology artefacts stay byte-identical at every worker count.
+var simHubs = 1
+
+// SetSimHubs sets the sub-hub count for subsequent experiment runs
+// (cmd/mlimp-bench -hubs). The bundled fleets have 4 nodes, so valid
+// values are 1, 2, and 4 — validate with cluster.ValidateTopology
+// before calling. Values below 1 clamp to 1.
+func SetSimHubs(n int) {
+	if n < 1 {
+		n = 1
+	}
+	simHubs = n
+}
+
+// SimHubs returns the current sub-hub count.
+func SimHubs() int { return simHubs }
+
+// shardCfg is the ShardConfig every fleet experiment runs under: the
+// process-wide worker count and hub topology.
+func shardCfg(workers int) cluster.ShardConfig {
+	return cluster.ShardConfig{Workers: workers, Hubs: simHubs}
+}

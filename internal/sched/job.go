@@ -104,6 +104,7 @@ type System struct {
 	profMemo   map[profKey]event.Time
 	kneeMemo   map[kneeKey]int
 	cacheStats CacheStats
+	targets    []isa.Target // memoised Targets(); Layers is fixed after construction
 }
 
 // Layer is one computable memory exposed to the scheduler. Capacity is
@@ -162,15 +163,18 @@ func NewSystem(targets ...isa.Target) *System {
 	return s
 }
 
-// Targets returns the system's layers in canonical order.
+// Targets returns the system's layers in canonical order. The result
+// is memoised (the layer set never changes after construction) and
+// shared across calls — callers must treat it as read-only.
 func (s *System) Targets() []isa.Target {
-	var out []isa.Target
-	for _, t := range isa.Targets {
-		if _, ok := s.Layers[t]; ok {
-			out = append(out, t)
+	if s.targets == nil {
+		for _, t := range isa.Targets {
+			if _, ok := s.Layers[t]; ok {
+				s.targets = append(s.targets, t)
+			}
 		}
 	}
-	return out
+	return s.targets
 }
 
 // ModelTime evaluates the analytical model t(x,m) of Equations 1-3 for
