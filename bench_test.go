@@ -18,6 +18,7 @@ import (
 	"mlimp/internal/cluster"
 	"mlimp/internal/event"
 	"mlimp/internal/experiments"
+	"mlimp/internal/fault"
 	"mlimp/internal/isa"
 	"mlimp/internal/runtime"
 	"mlimp/internal/sched"
@@ -73,6 +74,7 @@ func BenchmarkExtension_Quantization(b *testing.B)          { run(b, "quant") }
 func BenchmarkExtension_Cluster(b *testing.B)               { run(b, "cluster") }
 func BenchmarkExtension_Faults(b *testing.B)                { run(b, "faults") }
 func BenchmarkExtension_MultiTenant(b *testing.B)           { run(b, "multitenant") }
+func BenchmarkExtension_Partition(b *testing.B)             { run(b, "partition") }
 
 // BenchmarkMultiTenantSchedule measures the array-set scheduler on one
 // dense mixed-tenant batch: 32 jobs across 4 tenants packed weighted-
@@ -127,6 +129,54 @@ func BenchmarkServeFrontend(b *testing.B) {
 		}
 		if s := fe.Run(); s.Accounted() != s.Requests {
 			b.Fatalf("accounted %d of %d requests", s.Accounted(), s.Requests)
+		}
+	}
+}
+
+// BenchmarkPartitionRecovery measures one full region-failover cycle on
+// a two-region tree: the region-1 hub freezes mid-run, region 0
+// suspects it off the beacon grid, adopts its nodes, and the revival
+// sweep re-dispatches whatever the freeze stranded. The workload is
+// built once and is read-only to the fabric, so iterations measure
+// suspicion, takeover, and recovery — not workload generation.
+func BenchmarkPartitionRecovery(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	var batches []*runtime.Batch
+	for i := 0; i < 30; i++ {
+		batches = append(batches, &runtime.Batch{ID: i,
+			Arrival: event.Time(i) * 200 * event.Microsecond,
+			Jobs:    workload.RandomJobs(rng, 4, i*100)})
+	}
+	cfgs := make([]cluster.NodeConfig, 4)
+	for i := range cfgs {
+		cfgs[i] = cluster.NodeConfig{Name: fmt.Sprintf("node%d", i), Targets: isa.Targets}
+	}
+	plan := &fault.Plan{
+		Seed:       5,
+		HubCrashes: []fault.HubCrash{{Region: 1, At: event.Millisecond, Recover: 4 * event.Millisecond}},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := cluster.NewShardedDispatcher(cluster.NewLeastOutstanding(),
+			cluster.Admission{MaxRetries: 6},
+			cluster.ShardConfig{Workers: 1, Hubs: 2, SummaryEvery: 500 * event.Microsecond},
+			cfgs...)
+		if err := d.EnableFaults(cluster.FaultConfig{Plan: plan,
+			Deadline: 5 * event.Millisecond}); err != nil {
+			b.Fatal(err)
+		}
+		for _, bt := range batches {
+			if err := d.Submit(bt); err != nil {
+				b.Fatal(err)
+			}
+		}
+		s := d.Run()
+		if s.Accounted() != s.Submitted {
+			b.Fatalf("conservation broken: %+v", s)
+		}
+		if s.HubCrashes != 1 || s.Takeovers == 0 {
+			b.Fatalf("failover cycle missing: crashes=%d takeovers=%d", s.HubCrashes, s.Takeovers)
 		}
 	}
 }

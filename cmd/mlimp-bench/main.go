@@ -46,6 +46,10 @@ func main() {
 	hubs := flag.Int("hubs", 1, "regional sub-hubs the fleet experiments dispatch through (1 = flat single hub; must tile the 4-node bundled fleet)")
 	hubFanout := flag.Int("hub-fanout", 0, "nodes per sub-hub (0 = derive from -hubs; hubs x fanout must equal the fleet size)")
 	tenants := flag.String("tenants", "2,4", "comma-separated tenant counts for the multitenant sweep")
+	hubCrash := flag.String("hub-crash", "",
+		"extra custom chaos regime for the partition experiment: slash-separated region@at:recover (ms), e.g. 1@5:40")
+	edgeFault := flag.String("edge-fault", "",
+		"extra custom chaos regime for the partition experiment: slash-separated from>to@at:until:drop:delay (ms), e.g. hub0>hub1@5:40:1:0")
 	packing := flag.String("packing", "all", "array packing policy for the multitenant sweep (first-fit, partitioned, weighted-fair, all)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
@@ -72,6 +76,13 @@ func main() {
 		os.Exit(2)
 	}
 	if err := experiments.SetMultiTenant(counts, *packing); err != nil {
+		fmt.Fprintf(os.Stderr, "mlimp-bench: %v\n", err)
+		os.Exit(2)
+	}
+	// Custom fabric-fault specs are validated here — named fault/cluster
+	// errors on a bad window, probability, region, or endpoint — so a
+	// malformed chaos regime is a flag failure, not a mid-sweep panic.
+	if err := experiments.SetFabricFault(*hubCrash, *edgeFault); err != nil {
 		fmt.Fprintf(os.Stderr, "mlimp-bench: %v\n", err)
 		os.Exit(2)
 	}

@@ -136,6 +136,10 @@ func main() {
 	breakerCooldownMs := flag.Float64("breaker-cooldown-ms", 0,
 		"open-breaker cooldown before a half-open probe; 0 means the default")
 	heartbeatMs := flag.Float64("heartbeat-ms", 0, "node heartbeat period; 0 means the default")
+	hubCrash := flag.String("hub-crash", "",
+		"regional hub freeze windows: slash-separated region@at:recover (ms), e.g. 1@2:6 (needs -j >= 1 and -hubs > 1)")
+	edgeFault := flag.String("edge-fault", "",
+		"fabric edge faults: slash-separated from>to@at:until:drop:delay (ms; until 0 = open), e.g. hub0>hub1@2:6:1:0 (needs -j >= 1)")
 	hubs := flag.Int("hubs", 1,
 		"regional sub-hubs the sharded fabric dispatches through (1 = flat single hub; must tile the fleet)")
 	hubFanout := flag.Int("hub-fanout", 0,
@@ -251,6 +255,28 @@ func main() {
 	if resolvedHubs > 1 && *jobs < 1 {
 		fail("-hubs > 1 needs the sharded fabric: pass -j >= 1 (got %d)", *jobs)
 	}
+	// Fabric fault flags: parse and structurally validate up front so a
+	// bad spec is a flag error (exit 2), not a mid-run failure.
+	hubCrashes, err := fault.ParseHubCrashes(*hubCrash)
+	if err != nil {
+		fail("%v", err)
+	}
+	edgeFaults, err := fault.ParseEdgeFaults(*edgeFault)
+	if err != nil {
+		fail("%v", err)
+	}
+	if len(hubCrashes) > 0 && (*jobs < 1 || resolvedHubs < 2) {
+		fail("%v: -hub-crash needs -j >= 1 and -hubs > 1", cluster.ErrHubCrashNeedsTree)
+	}
+	if len(edgeFaults) > 0 && *jobs < 1 {
+		fail("%v: -edge-fault needs -j >= 1", cluster.ErrEdgeFaultNeedsFabric)
+	}
+	for _, e := range edgeFaults {
+		if e.DropProb > 0 && *deadlineMs <= 0 {
+			fail("%v: lossy -edge-fault %s>%s needs -deadline-ms > 0",
+				cluster.ErrEdgeFaultNeedsDeadline, e.From, e.To)
+		}
+	}
 	policies := cluster.PolicyNames()
 	if *policy != "all" {
 		if _, ok := cluster.PolicyByName(*policy); !ok {
@@ -289,6 +315,20 @@ func main() {
 		}
 	} else if *execErrorProb > 0 {
 		plan = &fault.Plan{Seed: *seed, ExecErrorProb: *execErrorProb}
+	}
+	if len(hubCrashes) > 0 || len(edgeFaults) > 0 {
+		if plan == nil {
+			plan = &fault.Plan{Seed: *seed}
+		}
+		plan.HubCrashes = append(plan.HubCrashes, hubCrashes...)
+		plan.EdgeFaults = append(plan.EdgeFaults, edgeFaults...)
+	}
+	if plan != nil {
+		// Validate surfaces the named fault errors (bad windows, bad
+		// probabilities, bad regions) as flag failures.
+		if err := plan.Validate(); err != nil {
+			fail("%v", err)
+		}
 	}
 	faulty := plan != nil || *deadlineMs > 0
 

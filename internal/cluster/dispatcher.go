@@ -139,9 +139,11 @@ type Dispatcher struct {
 	tenants      map[string]*tenantCounts
 }
 
-// tenantCounts tracks one tenant's batch terminal states.
+// tenantCounts tracks one tenant's batch terminal states plus the
+// failure-driven re-dispatches its batches consumed on the way there.
 type tenantCounts struct {
 	submitted, completed, shed, deadLettered int
+	redispatches                             int
 }
 
 // bumpTenant returns (creating on first use) a tenant's counter row;
@@ -373,6 +375,10 @@ type TenantSummary struct {
 	Completed    int
 	Shed         int
 	DeadLettered int
+	// Redispatches counts failure-driven re-dispatches consumed by this
+	// tenant's batches — not a terminal state, so it is excluded from
+	// Accounted, but it is the per-tenant blast radius of a fault plan.
+	Redispatches int
 	MeanLatMs    float64
 	P99LatMs     float64
 }
@@ -393,14 +399,22 @@ type Summary struct {
 	DeadLettered int
 	ExecErrors   int
 	Timeouts     int
-	Makespan     event.Time
-	MeanLatMs    float64
-	P50LatMs     float64
-	P90LatMs     float64
-	P99LatMs     float64
-	P50QueMs     float64
-	P99QueMs     float64
-	Nodes        []NodeSummary
+	// Fabric-failure counters (hub tree under a fault plan; zero — and
+	// unrendered — everywhere else). HubCrashes counts hub freeze
+	// windows applied, Takeovers counts ring-successor adoptions of a
+	// suspected region's nodes, Rehomed counts messages (completion
+	// relays, mid-run injections) re-homed away from a frozen region 0.
+	HubCrashes int
+	Takeovers  int
+	Rehomed    int
+	Makespan   event.Time
+	MeanLatMs  float64
+	P50LatMs   float64
+	P90LatMs   float64
+	P99LatMs   float64
+	P50QueMs   float64
+	P99QueMs   float64
+	Nodes      []NodeSummary
 	// Tenants holds one row per tenant (sorted by name) when the run
 	// carried tenant-tagged batches; empty otherwise.
 	Tenants []TenantSummary
@@ -421,6 +435,10 @@ func (s Summary) String() string {
 	if s.Redispatches+s.DeadLettered+s.ExecErrors+s.Timeouts > 0 {
 		fmt.Fprintf(&sb, "  faults: redispatch=%d dead-letter=%d exec-err=%d timeouts=%d\n",
 			s.Redispatches, s.DeadLettered, s.ExecErrors, s.Timeouts)
+	}
+	if s.HubCrashes+s.Takeovers+s.Rehomed > 0 {
+		fmt.Fprintf(&sb, "  fabric: hub-crash=%d takeover=%d rehomed=%d\n",
+			s.HubCrashes, s.Takeovers, s.Rehomed)
 	}
 	for _, n := range s.Nodes {
 		fmt.Fprintf(&sb, "  %-12s batches=%-4d util=%.2f mean-lat=%.3fms", n.Name, n.Batches, n.Utilization, n.MeanLatMs)
@@ -444,8 +462,12 @@ func (s Summary) String() string {
 		sb.WriteString("\n")
 	}
 	for _, t := range s.Tenants {
-		fmt.Fprintf(&sb, "  tenant %-6s submitted=%-4d completed=%-4d shed=%d dead=%d mean-lat=%.3fms p99=%.3fms\n",
+		fmt.Fprintf(&sb, "  tenant %-6s submitted=%-4d completed=%-4d shed=%d dead=%d mean-lat=%.3fms p99=%.3fms",
 			t.Tenant, t.Submitted, t.Completed, t.Shed, t.DeadLettered, t.MeanLatMs, t.P99LatMs)
+		if t.Redispatches > 0 {
+			fmt.Fprintf(&sb, " redisp=%d", t.Redispatches)
+		}
+		sb.WriteString("\n")
 	}
 	sb.WriteString(")")
 	return sb.String()
@@ -532,7 +554,8 @@ func summarize(s Summary, rollups []nodeRollup, tenants map[string]*tenantCounts
 			s.Tenants = append(s.Tenants, TenantSummary{
 				Tenant: name, Submitted: c.submitted, Completed: c.completed,
 				Shed: c.shed, DeadLettered: c.deadLettered,
-				MeanLatMs: tl.Mean, P99LatMs: tl.P99,
+				Redispatches: c.redispatches,
+				MeanLatMs:    tl.Mean, P99LatMs: tl.P99,
 			})
 		}
 	}

@@ -1,11 +1,35 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 
 	"mlimp/internal/event"
 	"mlimp/internal/fault"
 	"mlimp/internal/runtime"
+)
+
+// Fabric-fault wiring errors. Hub crashes and edge faults degrade the
+// dispatch fabric itself, so they only make sense on fabrics that have
+// one: EnableFaults rejects plans a given dispatcher cannot honour with
+// these named errors (the CLIs surface them at exit 2).
+var (
+	// ErrHubCrashNeedsTree rejects HubCrash windows on the single-engine
+	// dispatcher and the flat sharded fabric — there is no regional hub
+	// to crash, and the flat hub is the observer the determinism
+	// contract hangs off.
+	ErrHubCrashNeedsTree = errors.New("cluster: hub crashes need a hub tree (Hubs > 1)")
+	// ErrEdgeFaultNeedsFabric rejects EdgeFaults on the single-engine
+	// dispatcher, which has no message fabric to degrade.
+	ErrEdgeFaultNeedsFabric = errors.New("cluster: edge faults need the sharded fabric")
+	// ErrEdgeFaultNeedsDeadline rejects lossy edge faults without a
+	// dispatch deadline: a dropped dispatch or completion echo is only
+	// recovered by the deadline -> re-dispatch path, so running drops
+	// without one would break the conservation law by construction.
+	ErrEdgeFaultNeedsDeadline = errors.New("cluster: lossy edge faults need a dispatch deadline")
+	// ErrUnknownEdgeEndpoint rejects edge faults naming a shard the
+	// fleet does not have (node names, or "hub<R>" for region R's hub).
+	ErrUnknownEdgeEndpoint = errors.New("cluster: edge fault names unknown shard")
 )
 
 // Failure-aware serving. With a FaultConfig enabled, the dispatcher
@@ -198,6 +222,14 @@ func (d *Dispatcher) EnableFaults(fc FaultConfig) error {
 	if err := fc.Plan.Validate(); err != nil {
 		return err
 	}
+	if fc.Plan != nil {
+		if len(fc.Plan.HubCrashes) > 0 {
+			return fmt.Errorf("%w (single-engine dispatcher)", ErrHubCrashNeedsTree)
+		}
+		if len(fc.Plan.EdgeFaults) > 0 {
+			return fmt.Errorf("%w (single-engine dispatcher)", ErrEdgeFaultNeedsFabric)
+		}
+	}
 	byName := map[string]*Node{}
 	for _, n := range d.nodes {
 		byName[n.Name] = n
@@ -351,6 +383,9 @@ func (d *Dispatcher) redispatch(tr *tracker, avoid *Node) {
 	}
 	tr.redispatches++
 	d.redispatches++
+	if c := bumpTenant(&d.tenants, tr.b.Tenant); c != nil {
+		c.redispatches++
+	}
 	tr.gen++ // invalidate any armed deadline for the old booking
 	d.dispatch(tr.b, 0, avoid)
 }

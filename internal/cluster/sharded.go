@@ -50,6 +50,13 @@ type ShardedDispatcher struct {
 	sns      []*shardNode
 	views    []*Node
 	bookings [][]int // per-view outstanding batch IDs in booking order
+	// homeN is how many of sns/views are this hub's own nodes (the
+	// configuration slice it was built over). Region takeover (tree.go)
+	// appends adopted ring-neighbour entries past homeN; summaries and
+	// Nodes() report home nodes only, so every node is reported exactly
+	// once fleet-wide no matter who adopted it.
+	homeN int
+	cfgs  []NodeConfig // retained for prebuilding adoptee views (tree.go)
 	// estimating: the policy carries the UsesEstimates marker, so every
 	// dispatch books a cost estimate (a full planning pass) on the hub
 	// and nodes report start events for drain tracking. Estimate-blind
@@ -84,11 +91,25 @@ type ShardedDispatcher struct {
 // node-shard state: the booking token echoed back in completion
 // messages (the hub drops echoes of superseded bookings) and the
 // 0-based attempt index the execution-error coin is flipped with.
+// homes records, per booked batch, which hub dispatched it — on the
+// fault-tolerant hub tree a node can legally hold bookings from two
+// hubs at once (its home hub and a ring-successor adopter after a
+// takeover, or both sides of a split-brain suspicion), and each
+// start/completion echo must route back to the hub that made the
+// booking, under that hub's own view index.
 type shardNode struct {
 	node     *Node
 	shard    *parsim.Shard
 	tokens   map[int]int
 	attempts map[int]int
+	homes    map[int]echoHome
+}
+
+// echoHome is one booking's return address: the dispatching hub and the
+// batch's view index there.
+type echoHome struct {
+	d   *ShardedDispatcher
+	idx int
 }
 
 // DefaultHop is the modelled dispatcher<->node network latency: one
@@ -230,6 +251,8 @@ func newRegion(drv *parsim.Driver, policy Policy, adm Admission, hop event.Time,
 		trk:    map[int]*tracker{},
 	}
 	d.estimating = policyUsesEstimates(policy)
+	d.homeN = len(cfgs)
+	d.cfgs = cfgs
 	for i, cfg := range cfgs {
 		shard := drv.AddShard()
 		sn := &shardNode{
@@ -237,6 +260,7 @@ func newRegion(drv *parsim.Driver, policy Policy, adm Admission, hop event.Time,
 			shard:    shard,
 			tokens:   map[int]int{},
 			attempts: map[int]int{},
+			homes:    map[int]echoHome{},
 		}
 		d.sns = append(d.sns, sn)
 		d.views = append(d.views, newView(cfg))
@@ -249,11 +273,15 @@ func newRegion(drv *parsim.Driver, policy Policy, adm Admission, hop event.Time,
 // wireNode replaces the node's runtime hooks (installed by NewNode for
 // the same-engine fabric) with mailbox-sending ones. The hooks run on
 // the node's shard and only touch node-shard state; everything bound
-// for the hub crosses through Send.
+// for a hub crosses through Send. Echoes route to the booking's home —
+// the hub that dispatched the batch, recorded per batch in sn.homes —
+// which is always this node's own region until a takeover books
+// foreign work here.
 func (d *ShardedDispatcher) wireNode(idx int, sn *shardNode) {
 	rt := sn.node.rt
 	rt.OnStart = func(b *runtime.Batch, at event.Time) {
-		if !d.estimating {
+		h, ok := sn.homes[b.ID]
+		if !ok || !h.d.estimating {
 			return
 		}
 		token, ok := sn.tokens[b.ID]
@@ -261,10 +289,11 @@ func (d *ShardedDispatcher) wireNode(idx int, sn *shardNode) {
 			return
 		}
 		id := b.ID
+		hub, hidx := h.d, h.idx
 		// EarliestTo, not a fixed hop: on the hub tree the node->hub
 		// echo edge is beacon-gridded, and this is now + hop on the
 		// flat fabric either way.
-		sn.shard.Send(d.hub, sn.shard.EarliestTo(d.hub), func() { d.onStarted(idx, id, token, at) })
+		sn.shard.Send(hub.hub, sn.shard.EarliestTo(hub.hub), func() { hub.onStarted(hidx, id, token, at) })
 	}
 	rt.OnComplete = func(res runtime.BatchResult, err error) {
 		sn.node.busy += res.Completed - res.Start
@@ -272,15 +301,18 @@ func (d *ShardedDispatcher) wireNode(idx int, sn *shardNode) {
 		if !ok {
 			return // booking superseded while the execution ran
 		}
+		h := sn.homes[res.ID]
 		delete(sn.tokens, res.ID)
 		delete(sn.attempts, res.ID)
+		delete(sn.homes, res.ID)
 		failed := err != nil
+		hub, hidx := h.d, h.idx
 		// The echo carries the full execution record: the hub's OnDone
 		// observers (the serving front end) read per-job spans from it.
 		// The node shard never touches res again, so the hub may. The
 		// EarliestTo bound rides the beacon grid on the hub tree and is
 		// now + hop on the flat fabric.
-		sn.shard.Send(d.hub, sn.shard.EarliestTo(d.hub), func() { d.onCompleted(idx, res, failed, token) })
+		sn.shard.Send(hub.hub, sn.shard.EarliestTo(hub.hub), func() { hub.onCompleted(hidx, res, failed, token) })
 	}
 }
 
@@ -305,8 +337,8 @@ func (d *ShardedDispatcher) Nodes() []*Node {
 		}
 		return nodes
 	}
-	nodes := make([]*Node, len(d.sns))
-	for i, sn := range d.sns {
+	nodes := make([]*Node, d.homeN)
+	for i, sn := range d.sns[:d.homeN] {
 		nodes[i] = sn.node
 	}
 	return nodes
@@ -376,8 +408,9 @@ func (d *ShardedDispatcher) RecordAssignments() {
 func (d *ShardedDispatcher) Inject(b *runtime.Batch) error {
 	if d.tree != nil {
 		// Hub-resident front ends live on region 0's shard; their batches
-		// enter there and may still migrate by overflow forwarding.
-		return d.tree.regions[0].Inject(b)
+		// enter there (re-homing to the lowest live region when region
+		// 0's hub is frozen) and may still migrate by overflow forwarding.
+		return d.tree.inject(b)
 	}
 	if b == nil {
 		return runtime.ErrNilBatch
@@ -429,8 +462,14 @@ func (d *ShardedDispatcher) PredictedCompletion(jobs []*sched.Job) (event.Time, 
 	if d.tree != nil {
 		// Admission rides the local sub-hub predictor: region 0's views
 		// are the front end's one-round-trip-fresh picture; remote
-		// regions are only reachable by overflow forwarding anyway.
-		return d.tree.regions[0].PredictedCompletion(jobs)
+		// regions are only reachable by overflow forwarding anyway. A
+		// frozen region-0 hub predicts nothing — the front end sheds at
+		// admission until the hub restarts.
+		r0 := d.tree.regions[0]
+		if r0.reg != nil && r0.reg.down {
+			return 0, false
+		}
+		return r0.PredictedCompletion(jobs)
 	}
 	now := d.hub.Engine().Now()
 	probe := &runtime.Batch{ID: -1, Arrival: now, Jobs: jobs}
@@ -520,6 +559,12 @@ func (d *ShardedDispatcher) eligible(v *Node, b *runtime.Batch) bool {
 // batch; completions echo it back so the hub can discard echoes of
 // bookings it has since abandoned.
 func (d *ShardedDispatcher) dispatch(b *runtime.Batch, attempt int, avoid *Node) {
+	// A frozen hub processes nothing: routing decisions (arrivals, retry
+	// timers, re-dispatches) park and replay in order at revival.
+	if rs := d.reg; rs != nil && rs.down {
+		rs.parked = append(rs.parked, func() { d.dispatch(b, attempt, avoid) })
+		return
+	}
 	tr := d.trk[b.ID]
 	if tr == nil || tr.done {
 		return
@@ -575,9 +620,11 @@ func (d *ShardedDispatcher) dispatch(b *runtime.Batch, attempt int, avoid *Node)
 	d.bookings[idx] = append(d.bookings[idx], b.ID)
 	attemptIdx := tr.attempts - 1
 	sn := d.sns[idx]
+	home := echoHome{d: d, idx: idx}
 	d.hub.SendAfter(sn.shard, d.hop, func() {
 		sn.tokens[b.ID] = token
 		sn.attempts[b.ID] = attemptIdx
+		sn.homes[b.ID] = home
 		if err := sn.node.rt.Enqueue(b); err != nil {
 			panic("cluster: " + err.Error()) // batches are validated at Submit
 		}
@@ -616,6 +663,9 @@ func (d *ShardedDispatcher) release(idx, id int) {
 // batch entering execution. at is node time; the view keeps it as the
 // run start so PredictedDrain subtracts real elapsed execution.
 func (d *ShardedDispatcher) onStarted(idx, id, token int, at event.Time) {
+	if rs := d.reg; rs != nil && rs.down {
+		return // a frozen hub loses its echoes
+	}
 	tr := d.trk[id]
 	if tr == nil || tr.done || tr.gen != token {
 		return
@@ -628,6 +678,13 @@ func (d *ShardedDispatcher) onStarted(idx, id, token int, at event.Time) {
 // the hub already abandoned that booking (deadline or eviction) — the
 // echo is dropped and whatever path superseded it owns the batch.
 func (d *ShardedDispatcher) onCompleted(idx int, res runtime.BatchResult, failed bool, token int) {
+	if rs := d.reg; rs != nil && rs.down {
+		// A completion echo lost to the freeze: the revival sweep cannot
+		// know this booking finished, so it will abort node-side (a
+		// no-op — the node already dropped the token) and re-dispatch.
+		// The batch may execute twice, but it settles exactly once.
+		return
+	}
 	id := res.ID
 	tr := d.trk[id]
 	if tr == nil || tr.done || tr.gen != token {
@@ -656,6 +713,11 @@ func (d *ShardedDispatcher) onCompleted(idx int, res runtime.BatchResult, failed
 // onDeadline fires on the hub when a booking's completion deadline
 // lapses without an accepted completion echo.
 func (d *ShardedDispatcher) onDeadline(tr *tracker, gen int) {
+	if rs := d.reg; rs != nil && rs.down {
+		// Skip, don't park: the booking is still in the ledger, so the
+		// revival sweep will abort and re-dispatch it anyway.
+		return
+	}
 	if tr.done || tr.gen != gen {
 		return
 	}
@@ -668,6 +730,7 @@ func (d *ShardedDispatcher) onDeadline(tr *tracker, gen int) {
 	d.hub.SendAfter(sn.shard, d.hop, func() {
 		delete(sn.tokens, id)
 		delete(sn.attempts, id)
+		delete(sn.homes, id)
 		sn.node.rt.Abort(id)
 	})
 	d.release(idx, id)
@@ -683,6 +746,9 @@ func (d *ShardedDispatcher) redispatch(tr *tracker, avoid *Node) {
 	}
 	tr.redispatches++
 	d.redispatches++
+	if c := bumpTenant(&d.tenants, tr.b.Tenant); c != nil {
+		c.redispatches++
+	}
 	tr.gen++
 	d.dispatch(tr.b, 0, avoid)
 }
@@ -723,6 +789,16 @@ func (d *ShardedDispatcher) EnableFaults(fc FaultConfig) error {
 				return fmt.Errorf("cluster: crash names unknown node %q", c.Node)
 			}
 		}
+		if len(fc.Plan.HubCrashes) > 0 {
+			return fmt.Errorf("%w (flat fabric)", ErrHubCrashNeedsTree)
+		}
+		shards := map[string]*parsim.Shard{"hub0": d.hub}
+		for _, sn := range d.sns {
+			shards[sn.node.Name] = sn.shard
+		}
+		if err := wireEdgeFaults(d.drv, shards, fc); err != nil {
+			return err
+		}
 	}
 	d.faults = &fc
 	execFn := fc.execFn()
@@ -743,6 +819,35 @@ func (d *ShardedDispatcher) EnableFaults(fc FaultConfig) error {
 	}
 	d.schedulePlan(byName)
 	d.startLiveness()
+	return nil
+}
+
+// wireEdgeFaults resolves the plan's edge faults against the fabric's
+// shards — hubs under "hub<R>", nodes under their node names — and
+// schedules them on the parsim driver. Lossy faults require a dispatch
+// deadline: dropped dispatches and completion echoes are only recovered
+// by the deadline -> re-dispatch path.
+func wireEdgeFaults(drv *parsim.Driver, shards map[string]*parsim.Shard, fc FaultConfig) error {
+	if fc.Plan == nil || len(fc.Plan.EdgeFaults) == 0 {
+		return nil
+	}
+	for _, e := range fc.Plan.EdgeFaults {
+		src, ok := shards[e.From]
+		if !ok {
+			return fmt.Errorf("%w (%q)", ErrUnknownEdgeEndpoint, e.From)
+		}
+		dst, ok := shards[e.To]
+		if !ok {
+			return fmt.Errorf("%w (%q)", ErrUnknownEdgeEndpoint, e.To)
+		}
+		if e.DropProb > 0 && fc.Deadline <= 0 {
+			return fmt.Errorf("%w (%s->%s drop=%.2f)", ErrEdgeFaultNeedsDeadline, e.From, e.To, e.DropProb)
+		}
+		drv.AddEdgeFault(src, dst, parsim.EdgeFault{
+			At: e.At, Until: e.Until, DropProb: e.DropProb, Delay: e.Delay,
+			Seed: fc.Plan.Seed,
+		})
+	}
 	return nil
 }
 
@@ -799,16 +904,24 @@ func (d *ShardedDispatcher) startLiveness() {
 	period := d.faults.heartbeat()
 	var ping func()
 	ping = func() {
-		for i, sn := range d.sns {
-			i, sn := i, sn
-			d.hub.SendAfter(sn.shard, d.hop, func() {
-				if sn.node.down {
-					return
-				}
-				sn.shard.SendAfter(d.hub, d.hop, func() {
-					d.views[i].lastBeat = d.hub.Engine().Now()
+		// A frozen hub sends no pings and ignores incoming pongs; the
+		// loop itself keeps re-arming so liveness resumes at revival
+		// (the revival sweep resets every view's lastBeat first).
+		if rs := d.reg; rs == nil || !rs.down {
+			for i, sn := range d.sns {
+				i, sn := i, sn
+				d.hub.SendAfter(sn.shard, d.hop, func() {
+					if sn.node.down {
+						return
+					}
+					sn.shard.SendAfter(d.hub, d.hop, func() {
+						if rs := d.reg; rs != nil && rs.down {
+							return
+						}
+						d.views[i].lastBeat = d.hub.Engine().Now()
+					})
 				})
-			})
+			}
 		}
 		if d.ticking() {
 			d.hub.Engine().After(period, ping)
@@ -816,7 +929,9 @@ func (d *ShardedDispatcher) startLiveness() {
 	}
 	var monitor func()
 	monitor = func() {
-		d.monitorOnce()
+		if rs := d.reg; rs == nil || !rs.down {
+			d.monitorOnce()
+		}
 		if d.ticking() {
 			d.hub.Engine().After(period, monitor)
 		}
@@ -843,6 +958,7 @@ func (d *ShardedDispatcher) monitorOnce() {
 				for _, b := range sn.node.rt.Evict() {
 					delete(sn.tokens, b.ID)
 					delete(sn.attempts, b.ID)
+					delete(sn.homes, b.ID)
 				}
 			})
 			ids := append([]int(nil), d.bookings[i]...)
@@ -892,10 +1008,11 @@ func (d *ShardedDispatcher) Run() Summary {
 	return summarize(s, d.rollups(), d.tenants)
 }
 
-// rollups assembles the per-node summary rows for this hub's nodes.
+// rollups assembles the per-node summary rows for this hub's home
+// nodes; adopted entries past homeN are reported by their home region.
 func (d *ShardedDispatcher) rollups() []nodeRollup {
-	rollups := make([]nodeRollup, 0, len(d.sns))
-	for i, sn := range d.sns {
+	rollups := make([]nodeRollup, 0, d.homeN)
+	for i, sn := range d.sns[:d.homeN] {
 		v := d.views[i]
 		r := nodeRollup{
 			name: sn.node.Name, rt: sn.node.rt.Summarize(), busy: sn.node.busy,

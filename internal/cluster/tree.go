@@ -55,11 +55,23 @@ type hubTree struct {
 	seen         map[int]bool // fleet-wide Submit/Inject batch-ID dedupe
 	spray        int          // round-robin arrival cursor
 	prepared     bool
+
+	// Fabric-fault schedule (enableFaults). hubCrashes is the plan's hub
+	// freeze windows — static facts every shard may read during the run:
+	// the spray, relay failover, and inject re-homing all route against
+	// the *planned* liveness of remote hubs, which is what keeps those
+	// decisions deterministic without cross-shard reads of live state.
+	// suspLimit is the beacon-silence bound after which a ring successor
+	// suspects its predecessor: miss*SummaryEvery + 2*hop (the pong-lag
+	// slack, same shape as node liveness).
+	hubCrashes []fault.HubCrash
+	suspLimit  event.Time
 }
 
 // regionState is one region's place in the tree: its index, its ring
-// neighbours, and its beliefs about sibling load. beliefs is hub-shard
-// state of this region — only events on this region's hub touch it.
+// neighbours, and its beliefs about sibling load. All fields are
+// hub-shard state of this region — only events on this region's hub
+// touch them.
 type regionState struct {
 	t          *hubTree
 	idx        int
@@ -68,6 +80,35 @@ type regionState struct {
 	lastBeacon int                  // last load value beaconed; -1 before the first
 	stolen     int                  // batches forwarded away (tests read this)
 	taken      int                  // batches received by forwarding
+
+	// Hub-crash state. down marks the hub frozen: lossy inputs (echoes,
+	// pongs, beacons) are lost, reliable inputs and local routing
+	// decisions park and replay in arrival order at revival.
+	down   bool
+	parked []func()
+
+	// Suspicion/takeover state (fault mode). peerLast is the last
+	// beacon-receipt instant per region; a ring predecessor silent past
+	// suspLimit is suspected, and this region — if it is the silent
+	// region's ring successor — adopts its nodes. Adoption is sticky
+	// for the run: beliefs may heal, but shared routing stays safe
+	// because every booking carries its home (sn.homes).
+	peerLast []event.Time
+	suspect  []bool
+	adopted  []bool
+	adoptees map[int][]adoptee // prebuilt per ring predecessor (prepare)
+
+	hubCrashes int // freeze windows applied to this hub
+	takeovers  int // ring-predecessor regions this hub adopted
+	rehomed    int // relays/injections re-homed through or away from this hub
+}
+
+// adoptee is one prebuilt takeover entry: a ring predecessor's shard
+// node (shared — the node shard serves both hubs' bookings, routed by
+// sn.homes) and a cold view of it for the adopter's routing ledger.
+type adoptee struct {
+	sn   *shardNode
+	view *Node
 }
 
 // newHubTree builds the regional sub-dispatchers on the shared driver.
@@ -89,7 +130,12 @@ func newHubTree(drv *parsim.Driver, policy Policy, adm Admission, hop, summaryEv
 		for i := range beliefs {
 			beliefs[i] = -1
 		}
-		reg.reg = &regionState{t: t, idx: r, beliefs: beliefs, lastBeacon: -1}
+		reg.reg = &regionState{
+			t: t, idx: r, beliefs: beliefs, lastBeacon: -1,
+			peerLast: make([]event.Time, hubs),
+			suspect:  make([]bool, hubs),
+			adopted:  make([]bool, hubs),
+		}
 		t.regions = append(t.regions, reg)
 	}
 	return &ShardedDispatcher{drv: drv, hop: hop, policy: policy, adm: adm, tree: t}
@@ -126,7 +172,95 @@ func (t *hubTree) submit(b *runtime.Batch) error {
 	t.seen[b.ID] = true
 	r := t.regions[t.spray%len(t.regions)]
 	t.spray++
+	// Plan-aware spray: an arrival aimed at a hub the fault plan has
+	// frozen at that instant re-sprays to the next planned-live region
+	// (ring order), so flash crowds during a failover land on hubs that
+	// can actually route them. Static plan facts only — deterministic.
+	if len(t.hubCrashes) > 0 && t.hubDownAt(r.reg.idx, b.Arrival) {
+		for i := 1; i < len(t.regions); i++ {
+			c := t.regions[(r.reg.idx+i)%len(t.regions)]
+			if !t.hubDownAt(c.reg.idx, b.Arrival) {
+				r = c
+				break
+			}
+		}
+	}
 	return r.Submit(b)
+}
+
+// hubDownAt reports whether the fault plan freezes region ri's hub at
+// instant at. A pure function of the immutable plan, so any shard may
+// consult it mid-run.
+func (t *hubTree) hubDownAt(ri int, at event.Time) bool {
+	for _, h := range t.hubCrashes {
+		if h.Region == ri && h.At <= at && at < h.Recover {
+			return true
+		}
+	}
+	return false
+}
+
+// lowestLiveAt returns the lowest region index whose hub the plan
+// leaves live at the given instant — the done-relay and inject home
+// while region 0 is frozen. Falls back to 0 if the plan freezes every
+// hub at once (the messages then park on region 0 until it revives).
+func (t *hubTree) lowestLiveAt(at event.Time) int {
+	for ri := range t.regions {
+		if !t.hubDownAt(ri, at) {
+			return ri
+		}
+	}
+	return 0
+}
+
+// inject admits a mid-run batch from the hub-resident front end on
+// region 0's shard. While region 0's hub is frozen, ownership re-homes
+// to the lowest planned-live region over a reliable edge; otherwise the
+// batch enters region 0 exactly as before.
+func (t *hubTree) inject(b *runtime.Batch) error {
+	if b == nil {
+		return runtime.ErrNilBatch
+	}
+	if len(b.Jobs) == 0 {
+		return fmt.Errorf("%w (batch %d)", runtime.ErrEmptyBatch, b.ID)
+	}
+	if t.seen[b.ID] {
+		return fmt.Errorf("cluster: duplicate batch ID %d", b.ID)
+	}
+	t.seen[b.ID] = true
+	r0 := t.regions[0]
+	if r0.reg.down {
+		if li := t.lowestLiveAt(r0.hub.Engine().Now()); li != 0 {
+			dst := t.regions[li]
+			r0.reg.rehomed++
+			r0.hub.SendReliable(dst.hub, r0.hub.EarliestTo(dst.hub), func() { dst.receiveInject(b) })
+			return nil
+		}
+		// Every hub frozen: fall through — region 0 parks the dispatch.
+	}
+	return r0.Inject(b)
+}
+
+// receiveInject adopts a re-homed injection on the receiving region's
+// hub: full ownership (tracker, submitted count, tenant row), then a
+// normal local dispatch. The sender never created a tracker, so the
+// batch has exactly one owner fleet-wide.
+func (d *ShardedDispatcher) receiveInject(b *runtime.Batch) {
+	if rs := d.reg; rs != nil && rs.down {
+		rs.parked = append(rs.parked, func() { d.receiveInject(b) })
+		return
+	}
+	tr := &tracker{b: b}
+	d.trk[b.ID] = tr
+	d.pending++
+	d.submitted++
+	if c := bumpTenant(&d.tenants, b.Tenant); c != nil {
+		c.submitted++
+	}
+	if now := d.hub.Engine().Now(); now > d.lastArrival {
+		d.lastArrival = now
+	}
+	d.dispatch(b, 0, nil)
 }
 
 // ring returns the region's ring neighbours (one when R == 2).
@@ -156,6 +290,21 @@ func (d *ShardedDispatcher) tryForward(tr *tracker) bool {
 	// Lowest believed load wins; a known load beats an unknown one, and
 	// ties keep the right-hand neighbour (ring order).
 	peers := rs.peers
+	if rs.t.suspLimit > 0 {
+		// Never steal toward a hub believed dead: a forward is an
+		// ownership transfer, and a suspected hub may be frozen with its
+		// parked queue growing. Suspicion heals on the next beacon.
+		var live []*ShardedDispatcher
+		for _, p := range peers {
+			if !rs.suspect[p.reg.idx] {
+				live = append(live, p)
+			}
+		}
+		if len(live) == 0 {
+			return false
+		}
+		peers = live
+	}
 	best := peers[0]
 	bestLoad := rs.beliefs[best.reg.idx]
 	for _, p := range peers[1:] {
@@ -169,7 +318,10 @@ func (d *ShardedDispatcher) tryForward(tr *tracker) bool {
 	d.pending--
 	rs.stolen++
 	b, fwds, dst := tr.b, tr.fwds+1, best
-	d.hub.Send(dst.hub, d.hub.EarliestTo(dst.hub), func() { dst.receiveForward(b, fwds) })
+	// Reliable: the batch has exactly one owner fleet-wide, so the
+	// transfer itself must survive lossy edges (think retransmitting
+	// transport); it still pays any injected delay.
+	d.hub.SendReliable(dst.hub, d.hub.EarliestTo(dst.hub), func() { dst.receiveForward(b, fwds) })
 	return true
 }
 
@@ -179,6 +331,10 @@ func (d *ShardedDispatcher) tryForward(tr *tracker) bool {
 // a fresh retry budget. Submitted is not re-counted — the sender's
 // region did that — so merged conservation still balances.
 func (d *ShardedDispatcher) receiveForward(b *runtime.Batch, fwds int) {
+	if rs := d.reg; rs.down {
+		rs.parked = append(rs.parked, func() { d.receiveForward(b, fwds) })
+		return
+	}
 	if _, dup := d.trk[b.ID]; dup {
 		panic(fmt.Sprintf("cluster: forwarded batch %d already tracked in region %d", b.ID, d.reg.idx))
 	}
@@ -223,6 +379,43 @@ func (t *hubTree) prepare() {
 			drv.SetEdge(r.hub, t.regions[0].hub, beacon)
 		}
 	}
+	if t.suspLimit > 0 {
+		// Fabric-fault mode: any hub may need to reach any node (takeover
+		// bookings, revival-sweep aborts) and any hub (done-relay
+		// failover, inject re-homing), so declare the full mesh prompt.
+		for _, a := range t.regions {
+			for _, b := range t.regions {
+				if a == b {
+					continue
+				}
+				drv.SetEdge(a.hub, b.hub, prompt)
+				for _, sn := range b.sns {
+					drv.SetEdge(a.hub, sn.shard, prompt)
+					drv.SetEdge(sn.shard, a.hub, prompt)
+				}
+			}
+		}
+		// Prebuild the takeover entries: each region holds cold views of
+		// its ring predecessor's nodes, built now so adoption mid-run
+		// never reads a remote shard. The shard nodes are shared — after
+		// a takeover they serve bookings from both hubs, with each echo
+		// routed home by sn.homes.
+		for _, r := range t.regions {
+			r.reg.adoptees = map[int][]adoptee{}
+			for _, p := range r.reg.peers {
+				if r.reg.idx != (p.reg.idx+1)%len(t.regions) {
+					continue
+				}
+				var as []adoptee
+				for i, sn := range p.sns[:p.homeN] {
+					v := newView(p.cfgs[i])
+					v.breaker = newBreaker(r.faults.breakerK(), r.faults.breakerCooldown())
+					as = append(as, adoptee{sn: sn, view: v})
+				}
+				r.reg.adoptees[p.reg.idx] = as
+			}
+		}
+	}
 	t.wireDone()
 	for _, r := range t.regions {
 		t.armBeacon(r)
@@ -242,10 +435,36 @@ func (t *hubTree) wireDone() {
 	r0.onDone = t.onDone
 	for _, r := range t.regions[1:] {
 		r := r
-		r.onDone = func(di DoneInfo) {
-			r.hub.Send(r0.hub, r.hub.EarliestTo(r0.hub), func() { t.onDone(di) })
-		}
+		r.onDone = func(di DoneInfo) { t.relayDone(r, di) }
 	}
+}
+
+// relayDone carries a sibling region's terminal-state record to the
+// observer on region 0's shard. While the plan freezes region 0's hub,
+// the record routes through the lowest planned-live hub instead — the
+// relay a real cluster would elect — and reaches region 0's shard one
+// extra hop later, where the co-located front end (a separate process
+// that survives the hub crash) consumes it. Reliable sends throughout:
+// a terminal state is an ownership fact and must not be lost to a
+// lossy edge.
+func (t *hubTree) relayDone(r *ShardedDispatcher, di DoneInfo) {
+	r0 := t.regions[0]
+	home := 0
+	if len(t.hubCrashes) > 0 {
+		home = t.lowestLiveAt(r.hub.Engine().Now())
+	}
+	if home == 0 || t.regions[home] == r {
+		if home != 0 {
+			r.reg.rehomed++
+		}
+		r.hub.SendReliable(r0.hub, r.hub.EarliestTo(r0.hub), func() { t.onDone(di) })
+		return
+	}
+	relay := t.regions[home]
+	r.hub.SendReliable(relay.hub, r.hub.EarliestTo(relay.hub), func() {
+		relay.reg.rehomed++
+		relay.hub.SendReliable(r0.hub, relay.hub.EarliestTo(r0.hub), func() { t.onDone(di) })
+	})
 }
 
 // armBeacon starts one region's summarised-load broadcast: every
@@ -257,6 +476,15 @@ func (t *hubTree) armBeacon(r *ShardedDispatcher) {
 	idx := r.reg.idx
 	var tick func()
 	tick = func() {
+		if r.reg.down {
+			// A frozen hub beacons nothing — that silence is exactly what
+			// its ring successor's suspicion clock measures. The loop
+			// keeps re-arming so beacons resume at revival.
+			if r.ticking() {
+				r.hub.Engine().After(t.summaryEvery, tick)
+			}
+			return
+		}
 		load := 0
 		for _, v := range r.views {
 			load += v.Outstanding()
@@ -264,11 +492,42 @@ func (t *hubTree) armBeacon(r *ShardedDispatcher) {
 		// An unchanged load is already what the peers believe (the first
 		// tick always sends: lastBeacon starts at -1 and load is >= 0),
 		// so re-sending it would only allocate closures to no effect.
-		if load != r.reg.lastBeacon {
+		// In fabric-fault mode every tick sends: the beacon doubles as
+		// the hub-level heartbeat, and skip-unchanged would read as death.
+		if t.suspLimit > 0 || load != r.reg.lastBeacon {
 			r.reg.lastBeacon = load
 			for _, p := range r.reg.peers {
 				p := p
-				r.hub.Send(p.hub, r.hub.EarliestTo(p.hub), func() { p.reg.beliefs[idx] = load })
+				r.hub.Send(p.hub, r.hub.EarliestTo(p.hub), func() {
+					if p.reg.down {
+						return // lost on a frozen hub
+					}
+					p.reg.beliefs[idx] = load
+					if t.suspLimit > 0 {
+						p.reg.peerLast[idx] = p.hub.Engine().Now()
+						p.reg.suspect[idx] = false
+					}
+				})
+			}
+		}
+		if t.suspLimit > 0 {
+			// Suspicion clock: this region watches its ring predecessor
+			// (successor-only, so exactly one region adopts a silent hub's
+			// nodes). peerLast starts at 0, but the limit is >= three
+			// beacon periods, so a live predecessor always beats it.
+			now := r.hub.Engine().Now()
+			for _, p := range r.reg.peers {
+				pi := p.reg.idx
+				if r.reg.idx != (pi+1)%len(t.regions) {
+					continue
+				}
+				if r.reg.adopted[pi] || r.reg.suspect[pi] {
+					continue
+				}
+				if now-r.reg.peerLast[pi] > t.suspLimit {
+					r.reg.suspect[pi] = true
+					t.adopt(r, pi)
+				}
 			}
 		}
 		if r.ticking() {
@@ -276,6 +535,73 @@ func (t *hubTree) armBeacon(r *ShardedDispatcher) {
 		}
 	}
 	r.hub.Engine().At(t.summaryEvery, tick)
+}
+
+// adopt executes a region takeover on the adopter's hub: the suspected
+// ring predecessor's prebuilt entries — shared shard nodes plus cold
+// views — join the adopter's routing set past homeN. Adoption is sticky
+// for the run (beliefs may heal, routing stays safe: every booking's
+// echo carries its home). The adopted views start with a fresh liveness
+// stamp so the adopter's monitor gives their pongs time to arrive.
+func (t *hubTree) adopt(r *ShardedDispatcher, pi int) {
+	rs := r.reg
+	rs.adopted[pi] = true
+	rs.takeovers++
+	now := r.hub.Engine().Now()
+	for _, a := range rs.adoptees[pi] {
+		a.view.lastBeat = now
+		r.sns = append(r.sns, a.sn)
+		r.views = append(r.views, a.view)
+		r.bookings = append(r.bookings, nil)
+	}
+}
+
+// reviveSweep runs on a hub the instant its freeze window ends. Every
+// booking made before the crash is in doubt — its completion echo may
+// have been lost to the freeze — so the sweep aborts and re-dispatches
+// all of them (exactly-once still holds: a batch that did complete
+// node-side has already dropped its token, making the abort a no-op and
+// the re-execution's settle the only one). Liveness stamps reset first
+// so the monitor doesn't declare the whole fleet dead over pongs the
+// freeze swallowed, then the parked reliable inputs replay in arrival
+// order. Re-dispatches here charge the fleet counters but not the
+// batch's own budget — the fabric failed, not the batch.
+func (d *ShardedDispatcher) reviveSweep() {
+	rs := d.reg
+	now := d.hub.Engine().Now()
+	for _, v := range d.views {
+		v.lastBeat = now
+		v.detectedDown = false
+	}
+	for idx := range d.views {
+		ids := append([]int(nil), d.bookings[idx]...)
+		for _, id := range ids {
+			id := id
+			tr := d.trk[id]
+			d.release(idx, id)
+			if tr == nil || tr.done {
+				continue
+			}
+			tr.gen++ // invalidate the booking's deadline and echoes
+			sn := d.sns[idx]
+			d.hub.SendAfter(sn.shard, d.hop, func() {
+				delete(sn.tokens, id)
+				delete(sn.attempts, id)
+				delete(sn.homes, id)
+				sn.node.rt.Abort(id)
+			})
+			d.redispatches++
+			if c := bumpTenant(&d.tenants, tr.b.Tenant); c != nil {
+				c.redispatches++
+			}
+			d.dispatch(tr.b, 0, nil)
+		}
+	}
+	parked := rs.parked
+	rs.parked = nil
+	for _, fn := range parked {
+		fn()
+	}
 }
 
 // enableFaults validates the plan fleet-wide, then splits it into
@@ -307,6 +633,11 @@ func (t *hubTree) enableFaults(fc FaultConfig) error {
 				return fmt.Errorf("cluster: crash names unknown node %q", c.Node)
 			}
 		}
+		for _, h := range fc.Plan.HubCrashes {
+			if h.Region >= len(t.regions) {
+				return fmt.Errorf("%w: region %d of %d regions", fault.ErrBadHubRegion, h.Region, len(t.regions))
+			}
+		}
 	}
 	t.faulty = true
 	for ri, r := range t.regions {
@@ -327,6 +658,48 @@ func (t *hubTree) enableFaults(fc FaultConfig) error {
 		}
 		if err := r.EnableFaults(rfc); err != nil {
 			return err
+		}
+	}
+	if fc.Plan != nil && (len(fc.Plan.HubCrashes) > 0 || len(fc.Plan.EdgeFaults) > 0) {
+		// Fabric faults: arm the hub freeze windows, resolve edge faults
+		// fleet-wide (hubs under "hub<R>", nodes by name), and switch the
+		// beacons into heartbeat duty (suspLimit > 0 gates all of it).
+		t.hubCrashes = fc.Plan.HubCrashes
+		t.suspLimit = event.Time(fc.heartbeatMiss())*t.summaryEvery + 2*t.hop
+		shards := map[string]*parsim.Shard{}
+		for ri, r := range t.regions {
+			shards[fmt.Sprintf("hub%d", ri)] = r.hub
+			for _, sn := range r.sns {
+				shards[sn.node.Name] = sn.shard
+			}
+		}
+		if err := wireEdgeFaults(t.regions[0].drv, shards, fc); err != nil {
+			return err
+		}
+		var maxT event.Time
+		for _, h := range fc.Plan.HubCrashes {
+			h := h
+			r := t.regions[h.Region]
+			rs := r.reg
+			r.hub.Engine().At(h.At, func() { rs.down = true; rs.hubCrashes++ })
+			r.hub.Engine().At(h.Recover, func() { rs.down = false; r.reviveSweep() })
+			if h.Recover > maxT {
+				maxT = h.Recover
+			}
+		}
+		for _, e := range fc.Plan.EdgeFaults {
+			if e.Until > maxT {
+				maxT = e.Until
+			}
+		}
+		if maxT > 0 {
+			// Liveness, beacon, and monitor loops re-arm while the horizon
+			// is ahead: promise activity through every fault window plus a
+			// full suspicion round, so detection outlives the chaos.
+			maxT += t.suspLimit + t.summaryEvery
+			for _, r := range t.regions {
+				r.ExtendHorizon(maxT)
+			}
 		}
 	}
 	return nil
@@ -350,6 +723,9 @@ func (t *hubTree) run(parent *ShardedDispatcher) Summary {
 		s.DeadLettered += r.deadLettered
 		s.ExecErrors += r.execErrors
 		s.Timeouts += r.timeouts
+		s.HubCrashes += r.reg.hubCrashes
+		s.Takeovers += r.reg.takeovers
+		s.Rehomed += r.reg.rehomed
 		rollups = append(rollups, r.rollups()...)
 		for name, c := range r.tenants {
 			m := bumpTenant(&tenants, name)
@@ -357,6 +733,7 @@ func (t *hubTree) run(parent *ShardedDispatcher) Summary {
 			m.completed += c.completed
 			m.shed += c.shed
 			m.deadLettered += c.deadLettered
+			m.redispatches += c.redispatches
 		}
 	}
 	if len(tenants) == 0 {

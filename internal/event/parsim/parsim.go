@@ -92,6 +92,43 @@ type edge struct {
 	lat      EdgeLatency
 }
 
+// EdgeFault is one deterministic fault window on a directed shard edge:
+// messages departing inside [At, Until) are dropped with probability
+// DropProb, and survivors arrive Delay later than they would have. The
+// drop coin is a pure hash of (Seed, src, dst, per-pair sequence) — all
+// simulated facts — so the same fault schedule drops the same messages
+// at every worker count. Both degradations are conservative with
+// respect to the horizon computation: a dropped message removes an
+// arrival the fixpoint already budgeted for, and a delayed one arrives
+// strictly after its edge bound, so window safety is never violated.
+type EdgeFault struct {
+	At, Until event.Time // fault window; Until 0 = rest of the run
+	DropProb  float64
+	Delay     event.Time
+	Seed      int64
+}
+
+// active reports whether the window covers departure instant t.
+func (f EdgeFault) active(t event.Time) bool {
+	return t >= f.At && (f.Until == 0 || t < f.Until)
+}
+
+// splitmix64 is the SplitMix64 finaliser — the same well-mixed integer
+// hash internal/fault uses for its exec-error coin, duplicated here so
+// the generic simulation layer stays free of fault-model imports.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// edgeCoin draws the uniform [0,1) drop coin for one send attempt.
+func edgeCoin(seed int64, src, dst int, seq uint64) float64 {
+	h := splitmix64(uint64(seed) ^ uint64(uint32(src))<<48 ^ uint64(uint32(dst))<<32 ^ seq)
+	return float64(h>>11) / float64(1<<53)
+}
+
 // Shard is one partition of the simulation: a private engine plus the
 // outboxes feeding every other shard. A shard's engine may only be
 // touched by the goroutine currently executing that shard's window (or
@@ -103,6 +140,11 @@ type Shard struct {
 	out   [][]message // outboxes indexed by destination shard ID
 	seq   []uint64    // per-destination send counters
 	limit event.Time  // this window's execution horizon (driver-owned)
+
+	// Edge-fault tallies, owned by whichever goroutine executes this
+	// shard's window (like eng); summed into Stats at the end of Run.
+	dropped int
+	delayed int
 }
 
 // ID returns the shard's index in driver order.
@@ -120,6 +162,19 @@ func (s *Shard) Engine() *event.Engine { return s.eng }
 // inside the same window on another shard — the causality error
 // conservative PDES exists to prevent — so it panics.
 func (s *Shard) Send(dst *Shard, at event.Time, fn func()) {
+	s.send(dst, at, fn, false)
+}
+
+// SendReliable is Send over a retransmitting transport: edge faults on
+// the pair still delay the message, but can never drop it. Use it for
+// messages whose loss would break a conservation law the simulation is
+// supposed to prove — ownership transfers, completion relays — and
+// plain Send for everything a timeout or the next beacon re-covers.
+func (s *Shard) SendReliable(dst *Shard, at event.Time, fn func()) {
+	s.send(dst, at, fn, true)
+}
+
+func (s *Shard) send(dst *Shard, at event.Time, fn func(), reliable bool) {
 	if s.drv != dst.drv {
 		panic("parsim: send across drivers")
 	}
@@ -130,7 +185,29 @@ func (s *Shard) Send(dst *Shard, at event.Time, fn func()) {
 	if dst.id >= len(s.out) {
 		s.growRows(len(s.drv.shards))
 	}
+	// The sequence advances per attempt, dropped or not: it feeds the
+	// drop coin, so consecutive attempts must draw independently, and
+	// gaps in delivered sequences are harmless to the barrier merge.
 	s.seq[dst.id]++
+	if s.drv.faults != nil {
+		if fs := s.drv.faults[[2]int{s.id, dst.id}]; len(fs) != 0 {
+			now := s.eng.Now()
+			for _, f := range fs {
+				if !f.active(now) {
+					continue
+				}
+				if !reliable && f.DropProb > 0 &&
+					edgeCoin(f.Seed, s.id, dst.id, s.seq[dst.id]) < f.DropProb {
+					s.dropped++
+					return
+				}
+				if f.Delay > 0 {
+					at += f.Delay
+					s.delayed++
+				}
+			}
+		}
+	}
 	s.out[dst.id] = append(s.out[dst.id], message{at: at, src: s.id, seq: s.seq[dst.id], fn: fn})
 }
 
@@ -189,6 +266,11 @@ type Driver struct {
 	bound    []event.Time
 	horizon  []event.Time
 
+	// faults maps directed (src, dst) shard pairs to their fault
+	// windows. nil when no faults are scheduled, which keeps the send
+	// fast path a single pointer test.
+	faults map[[2]int][]EdgeFault
+
 	// Window state shared with the worker pool. Each shard's limit is
 	// written by the driver goroutine before the shard is handed to a
 	// worker; the channel send/receive pair orders the write before
@@ -234,6 +316,10 @@ type Stats struct {
 	// hub-bound windows visible.
 	Hist      []int
 	activeSum int
+	// Dropped and Delayed count messages degraded by edge faults over
+	// the whole run (zero — and unrendered — without faults).
+	Dropped int
+	Delayed int
 }
 
 // AvgActive returns the mean runnable shards per window.
@@ -253,6 +339,9 @@ func (s Stats) String() string {
 		if n > 0 {
 			out += fmt.Sprintf(" hist[%d]=%d", k, n)
 		}
+	}
+	if s.Dropped > 0 || s.Delayed > 0 {
+		out += fmt.Sprintf(" dropped=%d delayed=%d", s.Dropped, s.Delayed)
 	}
 	return out
 }
@@ -338,6 +427,33 @@ func (d *Driver) SetEdge(src, dst *Shard, lat EdgeLatency) {
 	d.edgeOut[src.id] = append(d.edgeOut[src.id], e)
 }
 
+// AddEdgeFault schedules a fault window on the directed pair src->dst.
+// Multiple windows on one pair stack: a departure inside several
+// windows draws each drop coin and accumulates each delay. Must be
+// called before Run.
+func (d *Driver) AddEdgeFault(src, dst *Shard, f EdgeFault) {
+	if d.ran {
+		panic("parsim: AddEdgeFault after Run")
+	}
+	if src.drv != d || dst.drv != d {
+		panic("parsim: AddEdgeFault with foreign shard")
+	}
+	if src == dst {
+		panic("parsim: AddEdgeFault on a self edge")
+	}
+	if f.DropProb < 0 || f.DropProb > 1 || f.Delay < 0 {
+		panic("parsim: AddEdgeFault with bad drop probability or delay")
+	}
+	if f.DropProb == 0 && f.Delay == 0 {
+		panic("parsim: AddEdgeFault that injects nothing (drop=0 delay=0)")
+	}
+	if d.faults == nil {
+		d.faults = map[[2]int][]EdgeFault{}
+	}
+	k := [2]int{src.id, dst.id}
+	d.faults[k] = append(d.faults[k], f)
+}
+
 // Run drains every shard: windows open at the globally earliest pending
 // event and close lookahead later; active shards execute concurrently
 // (up to the worker count); the barrier then merges mailboxes in
@@ -367,6 +483,8 @@ func (d *Driver) Run() event.Time {
 		if now := s.eng.Now(); now > end {
 			end = now
 		}
+		d.stats.Dropped += s.dropped
+		d.stats.Delayed += s.delayed
 	}
 	return end
 }

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mlimp/internal/cluster"
+	"mlimp/internal/fault"
+)
+
+// fabricPlan, when non-nil, adds a "custom" chaos regime to the
+// partition experiment's batch-level sweep (mlimp-bench -hub-crash /
+// -edge-fault). The serving table skips it: its fleet uses different
+// node names, so only the two hubs are addressable from both sweeps.
+var fabricPlan *fault.Plan
+
+// partitionEndpoints are the fabric shards a custom edge fault may
+// name: the two regional hubs plus the homogeneous batch-sweep nodes.
+var partitionEndpoints = map[string]bool{
+	"hub0": true, "hub1": true,
+	"n0": true, "n1": true, "n2": true, "n3": true,
+}
+
+// SetFabricFault parses and validates the CLI's custom fabric-fault
+// specs against the partition experiment's two-region topology. Empty
+// specs clear the custom scenario. Validation failures carry the named
+// fault/cluster errors so callers can exit 2 on bad flags.
+func SetFabricFault(hubCrashSpec, edgeFaultSpec string) error {
+	hc, err := fault.ParseHubCrashes(hubCrashSpec)
+	if err != nil {
+		return err
+	}
+	ef, err := fault.ParseEdgeFaults(edgeFaultSpec)
+	if err != nil {
+		return err
+	}
+	if len(hc) == 0 && len(ef) == 0 {
+		fabricPlan = nil
+		return nil
+	}
+	p := &fault.Plan{Seed: 900, HubCrashes: hc, EdgeFaults: ef}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	for _, h := range hc {
+		if h.Region > 1 {
+			return fmt.Errorf("%w: region %d (the partition tree has 2 regions)",
+				fault.ErrBadHubRegion, h.Region)
+		}
+	}
+	for _, e := range ef {
+		if !partitionEndpoints[e.From] || !partitionEndpoints[e.To] {
+			return fmt.Errorf("%w: %s -> %s (have hub0 hub1 n0..n3)",
+				cluster.ErrUnknownEdgeEndpoint, e.From, e.To)
+		}
+	}
+	fabricPlan = p
+	return nil
+}

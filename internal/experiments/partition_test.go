@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPartitionEquivalence replays the region-fault-tolerance sweep at
+// every sim worker count and asserts the artefact — chaos tables,
+// exactly-once and conservation verdicts, goodput ordering — is
+// byte-identical. The experiment pins Hubs=2 internally, so only the
+// worker knob varies.
+func TestPartitionEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet replays are slow")
+	}
+	want := replay(t, "partition", SimHubs(), 1)
+	for _, line := range []string{
+		"exactly-once settlement in every run (no double or lost OnDone): true",
+		"conservation (done+dead+shed == submitted) in every run: true",
+		"suspicion/takeover engaged under hub-crash, beacon-loss, and split-brain: true",
+		"injections/relays re-homed while the region-0 hub was frozen: true",
+		"epoch goodput(healthy) >= goodput(faulted) for every policy and regime: true",
+		"request conservation in every serving run: true",
+	} {
+		if !strings.Contains(want, line) {
+			t.Errorf("artefact missing invariant line %q:\n%s", line, want)
+		}
+	}
+	for _, workers := range []int{2, 4, 8} {
+		if got := replay(t, "partition", SimHubs(), workers); got != want {
+			t.Errorf("partition: workers=%d diverges from workers=1:\n%s\nvs\n%s",
+				workers, got, want)
+		}
+	}
+}

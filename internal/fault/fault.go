@@ -16,6 +16,7 @@
 package fault
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -23,6 +24,30 @@ import (
 
 	"mlimp/internal/event"
 	"mlimp/internal/isa"
+)
+
+// Named validation errors. Validate wraps these with the offending
+// entry's details, so callers (the CLI flag parsers, tests) match with
+// errors.Is while users still see which fault is malformed.
+var (
+	// ErrBadProbability marks a probability outside [0, 1].
+	ErrBadProbability = errors.New("fault: probability outside [0,1]")
+	// ErrBadMagnitude marks an array fault that takes out nothing (or a
+	// negative count / fraction).
+	ErrBadMagnitude = errors.New("fault: bad array-fault magnitude")
+	// ErrBadWindow marks a fault window that is negative or claims
+	// transience with Recover <= At.
+	ErrBadWindow = errors.New("fault: bad fault window")
+	// ErrBadHubRegion marks a hub crash naming a negative region index.
+	ErrBadHubRegion = errors.New("fault: hub crash names a bad region")
+	// ErrHubCrashPermanent marks a hub crash without a recovery instant.
+	// Hub crashes model the control plane, which a supervisor always
+	// restarts — a permanently dead hub is a topology change, not chaos —
+	// so Recover > At is mandatory.
+	ErrHubCrashPermanent = errors.New("fault: hub crash must be transient (Recover > At)")
+	// ErrBadEdge marks an edge fault with missing or self-loop endpoints,
+	// or one that injects nothing (no drop, no delay).
+	ErrBadEdge = errors.New("fault: bad edge fault")
 )
 
 // ArrayFault takes arrays of one computable-memory layer out of service
@@ -69,6 +94,58 @@ type Crash struct {
 // Transient reports whether the node revives.
 func (c Crash) Transient() bool { return c.Recover > c.At }
 
+// HubCrash freezes one regional sub-hub's control plane at At and
+// restarts it at Recover: while down the hub processes nothing — lossy
+// traffic aimed at it (beacons, liveness pongs, execution echoes) is
+// lost, reliable traffic (forwards, relays, injected work) parks until
+// revival — and its ring peers, missing its beacons, suspect it and
+// adopt its nodes. Hub crashes are transient by decree: the control
+// plane runs under a supervisor that always restarts it, so Validate
+// rejects Recover <= At (ErrHubCrashPermanent).
+type HubCrash struct {
+	Region  int // region index in tree order
+	At      event.Time
+	Recover event.Time
+}
+
+// Transient reports whether the hub restarts. Well-formed hub crashes
+// always are; the method exists for symmetry with Crash and for
+// validation tests.
+func (h HubCrash) Transient() bool { return h.Recover > h.At }
+
+// EdgeFault degrades one directed fabric edge for a window: messages
+// departing From toward To inside [At, Until) are dropped with
+// probability DropProb and the survivors arrive Delay late. Until 0
+// leaves the fault in force for the rest of the run. Endpoints name
+// shards the consumer resolves — node names, or "hub<R>" for region R's
+// hub shard. The drop coin is a pure hash of (plan seed, edge, per-pair
+// message sequence), so the same plan drops the same messages at every
+// worker count.
+type EdgeFault struct {
+	From, To string
+	At       event.Time
+	Until    event.Time // 0 = rest of the run
+	DropProb float64
+	Delay    event.Time
+}
+
+// PartitionEdges returns the edge faults of a clean split-brain
+// partition: every directed edge between a shard in a and a shard in b
+// drops all traffic for [at, until). Shards listed in neither group
+// keep full connectivity to both sides — the classic asymmetric
+// partition comes from listing them in just one call.
+func PartitionEdges(a, b []string, at, until event.Time) []EdgeFault {
+	var fs []EdgeFault
+	for _, x := range a {
+		for _, y := range b {
+			fs = append(fs,
+				EdgeFault{From: x, To: y, At: at, Until: until, DropProb: 1},
+				EdgeFault{From: y, To: x, At: at, Until: until, DropProb: 1})
+		}
+	}
+	return fs
+}
+
 // Plan is one run's complete fault schedule. The zero value injects
 // nothing; a Plan is immutable once handed to a consumer.
 type Plan struct {
@@ -78,6 +155,13 @@ type Plan struct {
 	// order within the slices does not matter.
 	ArrayFaults []ArrayFault
 	Crashes     []Crash
+	// HubCrashes and EdgeFaults extend the failure surface from the
+	// nodes to the dispatch fabric itself: frozen regional hubs and
+	// lossy / slow fabric edges. Both require the hierarchical fabric
+	// (Hubs > 1) — the flat hub is the observer the determinism contract
+	// hangs off, so consumers reject plans that crash it.
+	HubCrashes []HubCrash
+	EdgeFaults []EdgeFault
 	// ExecErrorProb is the probability that one execution of a batch
 	// fails after running to completion (a transient job error: bad
 	// analog readout, ECC trip, a cosmic ray in the peripheral). The
@@ -89,7 +173,9 @@ type Plan struct {
 // Empty reports whether the plan injects nothing at all.
 func (p *Plan) Empty() bool {
 	return p == nil ||
-		(len(p.ArrayFaults) == 0 && len(p.Crashes) == 0 && p.ExecErrorProb <= 0)
+		(len(p.ArrayFaults) == 0 && len(p.Crashes) == 0 &&
+			len(p.HubCrashes) == 0 && len(p.EdgeFaults) == 0 &&
+			p.ExecErrorProb <= 0)
 }
 
 // splitmix64 is the SplitMix64 finaliser — a cheap, well-mixed integer
@@ -119,26 +205,53 @@ func (p *Plan) ExecError(batchID, attempt int) bool {
 	return u < p.ExecErrorProb
 }
 
-// Validate rejects plans no consumer can honour.
+// Validate rejects plans no consumer can honour. Every rejection wraps
+// one of the named errors above.
 func (p *Plan) Validate() error {
 	if p == nil {
 		return nil
 	}
 	if p.ExecErrorProb < 0 || p.ExecErrorProb > 1 {
-		return fmt.Errorf("fault: exec error probability %v outside [0,1]", p.ExecErrorProb)
+		return fmt.Errorf("%w: exec error probability %v", ErrBadProbability, p.ExecErrorProb)
 	}
 	for i, f := range p.ArrayFaults {
 		if f.Arrays < 0 || (f.Arrays == 0 && f.Fraction <= 0) || f.Fraction < 0 || f.Fraction > 1 {
-			return fmt.Errorf("fault: array fault %d has bad magnitude (arrays=%d fraction=%v)",
-				i, f.Arrays, f.Fraction)
+			return fmt.Errorf("%w: array fault %d (arrays=%d fraction=%v)",
+				ErrBadMagnitude, i, f.Arrays, f.Fraction)
 		}
 		if f.At < 0 || (f.Recover != 0 && f.Recover <= f.At) {
-			return fmt.Errorf("fault: array fault %d has bad window [%v, %v]", i, f.At, f.Recover)
+			return fmt.Errorf("%w: array fault %d [%v, %v]", ErrBadWindow, i, f.At, f.Recover)
 		}
 	}
 	for i, c := range p.Crashes {
 		if c.At < 0 || (c.Recover != 0 && c.Recover <= c.At) {
-			return fmt.Errorf("fault: crash %d has bad window [%v, %v]", i, c.At, c.Recover)
+			return fmt.Errorf("%w: crash %d [%v, %v]", ErrBadWindow, i, c.At, c.Recover)
+		}
+	}
+	for i, h := range p.HubCrashes {
+		if h.Region < 0 {
+			return fmt.Errorf("%w: hub crash %d region %d", ErrBadHubRegion, i, h.Region)
+		}
+		if h.At < 0 {
+			return fmt.Errorf("%w: hub crash %d at %v", ErrBadWindow, i, h.At)
+		}
+		if !h.Transient() {
+			return fmt.Errorf("%w: hub crash %d [%v, %v]", ErrHubCrashPermanent, i, h.At, h.Recover)
+		}
+	}
+	for i, e := range p.EdgeFaults {
+		if e.From == "" || e.To == "" || e.From == e.To {
+			return fmt.Errorf("%w: edge fault %d endpoints %q -> %q", ErrBadEdge, i, e.From, e.To)
+		}
+		if e.DropProb < 0 || e.DropProb > 1 {
+			return fmt.Errorf("%w: edge fault %d drop %v", ErrBadProbability, i, e.DropProb)
+		}
+		if e.Delay < 0 || e.At < 0 || (e.Until != 0 && e.Until <= e.At) {
+			return fmt.Errorf("%w: edge fault %d window [%v, %v] delay %v",
+				ErrBadWindow, i, e.At, e.Until, e.Delay)
+		}
+		if e.DropProb == 0 && e.Delay == 0 {
+			return fmt.Errorf("%w: edge fault %d injects nothing (drop=0 delay=0)", ErrBadEdge, i)
 		}
 	}
 	return nil
@@ -178,6 +291,18 @@ func (p *Plan) String() string {
 		}
 		lines = append(lines, line{c.At, fmt.Sprintf("  %.3fms crash node=%s (%s)",
 			c.At.Millis(), c.Node, kind)})
+	}
+	for _, h := range p.HubCrashes {
+		lines = append(lines, line{h.At, fmt.Sprintf("  %.3fms hub-crash region=%d (restarts %.3fms)",
+			h.At.Millis(), h.Region, h.Recover.Millis())})
+	}
+	for _, e := range p.EdgeFaults {
+		until := "end"
+		if e.Until != 0 {
+			until = fmt.Sprintf("%.3fms", e.Until.Millis())
+		}
+		lines = append(lines, line{e.At, fmt.Sprintf("  %.3fms edge-fault %s->%s drop=%.2f delay=%.3fms (until %s)",
+			e.At.Millis(), e.From, e.To, e.DropProb, e.Delay.Millis(), until)})
 	}
 	sort.SliceStable(lines, func(i, j int) bool { return lines[i].at < lines[j].at })
 	var sb strings.Builder

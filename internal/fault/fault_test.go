@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -92,6 +93,129 @@ func TestValidate(t *testing.T) {
 	var nilPlan *Plan
 	if err := nilPlan.Validate(); err != nil {
 		t.Errorf("nil plan should validate: %v", err)
+	}
+}
+
+func TestExecErrorSeedIndependence(t *testing.T) {
+	// Different seeds must redraw: over 256 batches at p=0.5 two seeds
+	// agreeing on every coin is astronomically unlikely.
+	a := &Plan{Seed: 1, ExecErrorProb: 0.5}
+	b := &Plan{Seed: 2, ExecErrorProb: 0.5}
+	same := 0
+	for batch := 0; batch < 256; batch++ {
+		if a.ExecError(batch, 0) == b.ExecError(batch, 0) {
+			same++
+		}
+	}
+	if same == 256 {
+		t.Error("seed does not enter the ExecError draw")
+	}
+	// Degenerate probabilities are exact, not statistical.
+	if (&Plan{Seed: 9, ExecErrorProb: 1}).ExecError(0, 0) != true {
+		t.Error("prob 1 must always fail")
+	}
+	if (&Plan{Seed: 9}).ExecError(0, 0) {
+		t.Error("prob 0 must never fail")
+	}
+}
+
+func TestCrashTransientEdgeCases(t *testing.T) {
+	cases := []struct {
+		c    Crash
+		want bool
+	}{
+		{Crash{At: 5, Recover: 10}, true},
+		{Crash{At: 5, Recover: 5}, false}, // zero-length window is permanent
+		{Crash{At: 5, Recover: 3}, false}, // heals before crashing
+		{Crash{At: 5, Recover: 0}, false}, // explicit permanent
+		{Crash{At: 0, Recover: 1}, true},  // crash at time zero
+		{Crash{At: 0, Recover: 0}, false}, // zero value
+	}
+	for i, tc := range cases {
+		if got := tc.c.Transient(); got != tc.want {
+			t.Errorf("case %d: Crash{At:%v Recover:%v}.Transient() = %v, want %v",
+				i, tc.c.At, tc.c.Recover, got, tc.want)
+		}
+	}
+	if (HubCrash{At: 2, Recover: 2}).Transient() {
+		t.Error("zero-length hub crash reported transient")
+	}
+	if !(HubCrash{At: 2, Recover: 4}).Transient() {
+		t.Error("well-formed hub crash reported permanent")
+	}
+}
+
+func TestValidateNamedErrors(t *testing.T) {
+	cases := []struct {
+		plan *Plan
+		want error
+	}{
+		{&Plan{ExecErrorProb: -0.1}, ErrBadProbability},
+		{&Plan{ExecErrorProb: 1.5}, ErrBadProbability},
+		{&Plan{ArrayFaults: []ArrayFault{{Target: isa.SRAM}}}, ErrBadMagnitude},
+		{&Plan{ArrayFaults: []ArrayFault{{Target: isa.SRAM, Arrays: 2, At: 5, Recover: 3}}}, ErrBadWindow},
+		{&Plan{Crashes: []Crash{{Node: "a", At: 10, Recover: 1}}}, ErrBadWindow},
+		{&Plan{HubCrashes: []HubCrash{{Region: -1, At: 1, Recover: 2}}}, ErrBadHubRegion},
+		{&Plan{HubCrashes: []HubCrash{{Region: 0, At: -1, Recover: 2}}}, ErrBadWindow},
+		{&Plan{HubCrashes: []HubCrash{{Region: 0, At: 5, Recover: 5}}}, ErrHubCrashPermanent},
+		{&Plan{HubCrashes: []HubCrash{{Region: 0, At: 5}}}, ErrHubCrashPermanent},
+		{&Plan{EdgeFaults: []EdgeFault{{From: "", To: "b", DropProb: 1}}}, ErrBadEdge},
+		{&Plan{EdgeFaults: []EdgeFault{{From: "a", To: "a", DropProb: 1}}}, ErrBadEdge},
+		{&Plan{EdgeFaults: []EdgeFault{{From: "a", To: "b", DropProb: 1.5}}}, ErrBadProbability},
+		{&Plan{EdgeFaults: []EdgeFault{{From: "a", To: "b", DropProb: 1, At: 5, Until: 5}}}, ErrBadWindow},
+		{&Plan{EdgeFaults: []EdgeFault{{From: "a", To: "b", DropProb: 1, Delay: -1}}}, ErrBadWindow},
+		{&Plan{EdgeFaults: []EdgeFault{{From: "a", To: "b"}}}, ErrBadEdge}, // injects nothing
+	}
+	for i, tc := range cases {
+		err := tc.plan.Validate()
+		if err == nil {
+			t.Errorf("case %d: bad plan accepted", i)
+			continue
+		}
+		if !errors.Is(err, tc.want) {
+			t.Errorf("case %d: error %v does not wrap %v", i, err, tc.want)
+		}
+	}
+	good := &Plan{
+		HubCrashes: []HubCrash{{Region: 1, At: event.Millisecond, Recover: 2 * event.Millisecond}},
+		EdgeFaults: []EdgeFault{
+			{From: "hub0", To: "hub1", At: 0, Until: event.Millisecond, DropProb: 0.5},
+			{From: "node0", To: "hub0", Delay: 10 * event.Microsecond}, // delay-only, open window
+		},
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good fabric plan rejected: %v", err)
+	}
+	if good.Empty() {
+		t.Error("fabric-fault plan reported empty")
+	}
+	s := good.String()
+	for _, want := range []string{"hub-crash region=1", "edge-fault hub0->hub1", "until end", "restarts 2.000ms"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("fabric plan render missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestPartitionEdges(t *testing.T) {
+	fs := PartitionEdges([]string{"hub0", "node0"}, []string{"hub1"}, 5, 9)
+	if len(fs) != 4 {
+		t.Fatalf("partition of 2x1 shards yielded %d edges, want 4", len(fs))
+	}
+	seen := map[string]bool{}
+	for _, e := range fs {
+		if e.DropProb != 1 || e.At != 5 || e.Until != 9 {
+			t.Errorf("partition edge %+v not a full drop over [5,9)", e)
+		}
+		seen[e.From+">"+e.To] = true
+	}
+	for _, want := range []string{"hub0>hub1", "hub1>hub0", "node0>hub1", "hub1>node0"} {
+		if !seen[want] {
+			t.Errorf("partition missing directed edge %s", want)
+		}
+	}
+	if err := (&Plan{EdgeFaults: fs}).Validate(); err != nil {
+		t.Errorf("partition edges fail validation: %v", err)
 	}
 }
 

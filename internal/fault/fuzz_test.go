@@ -1,0 +1,66 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"mlimp/internal/event"
+	"mlimp/internal/isa"
+)
+
+// FuzzPlanValidate drives Validate/String/Empty/ExecError over
+// arbitrary plans assembled from primitive fuzz arguments. The
+// invariants: nothing panics, a plan that validates renders one line
+// per fault, Empty is consistent with the contents, and the ExecError
+// coin is pure in (seed, batch, attempt) whether or not the plan is
+// valid.
+func FuzzPlanValidate(f *testing.F) {
+	f.Add(int64(1), 0.1, "node0", int64(1), int64(2), 4, 0.5, int64(3), int64(0), "hub0", "hub1", 0.9, int64(5), int64(10), 1)
+	f.Add(int64(7), 1.5, "", int64(-1), int64(0), -2, -0.5, int64(9), int64(9), "a", "a", -1.0, int64(-4), int64(2), 0)
+	f.Add(int64(0), 0.0, "n", int64(0), int64(0), 0, 0.0, int64(0), int64(0), "", "", 0.0, int64(0), int64(0), 3)
+	f.Fuzz(func(t *testing.T, seed int64, prob float64, node string,
+		at, rec int64, arrays int, frac float64,
+		hubAt, hubRec int64, from, to string, drop float64,
+		edgeAt, edgeUntil int64, region int) {
+		p := &Plan{
+			Seed:          seed,
+			ExecErrorProb: prob,
+			ArrayFaults: []ArrayFault{{
+				Node: node, Target: isa.SRAM, Arrays: arrays, Fraction: frac,
+				At: event.Time(at), Recover: event.Time(rec),
+			}},
+			Crashes: []Crash{{Node: node, At: event.Time(at), Recover: event.Time(rec)}},
+			HubCrashes: []HubCrash{{
+				Region: region, At: event.Time(hubAt), Recover: event.Time(hubRec),
+			}},
+			EdgeFaults: []EdgeFault{{
+				From: from, To: to, DropProb: drop,
+				At: event.Time(edgeAt), Until: event.Time(edgeUntil),
+			}},
+		}
+		err := p.Validate()
+		s := p.String()
+		if p.Empty() {
+			t.Fatal("plan with four faults reported empty")
+		}
+		if err == nil {
+			// A valid plan renders every fault, one line each.
+			if got := strings.Count(s, "\n"); got != 5 { // header + 4 faults + ")" terminator share lines
+				t.Fatalf("valid plan rendered %d newlines, want 5:\n%s", got, s)
+			}
+			for _, want := range []string{"array-fault", "crash", "hub-crash", "edge-fault"} {
+				if !strings.Contains(s, want) {
+					t.Fatalf("valid plan render missing %q:\n%s", want, s)
+				}
+			}
+		}
+		// ExecError must be pure and total regardless of validity.
+		for batch := 0; batch < 4; batch++ {
+			for attempt := 0; attempt < 2; attempt++ {
+				if p.ExecError(batch, attempt) != p.ExecError(batch, attempt) {
+					t.Fatalf("ExecError(%d,%d) not deterministic", batch, attempt)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+
+	"mlimp/internal/event"
+)
+
+func TestParseHubCrashes(t *testing.T) {
+	got, err := ParseHubCrashes("1@2:6/0@10:14.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []HubCrash{
+		{Region: 1, At: 2 * event.Millisecond, Recover: 6 * event.Millisecond},
+		{Region: 0, At: 10 * event.Millisecond, Recover: 14500 * event.Microsecond},
+	}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("ParseHubCrashes = %+v, want %+v", got, want)
+	}
+	for _, bad := range []string{"1", "x@2:6", "1@2", "1@x:6", "1@2:y"} {
+		if _, err := ParseHubCrashes(bad); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("ParseHubCrashes(%q) err = %v, want ErrBadSpec", bad, err)
+		}
+	}
+}
+
+func TestParseEdgeFaults(t *testing.T) {
+	got, err := ParseEdgeFaults("hub0>hub1@2:6:1:0/hub1>hub0@0:0:0.5:0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []EdgeFault{
+		{From: "hub0", To: "hub1", At: 2 * event.Millisecond, Until: 6 * event.Millisecond, DropProb: 1},
+		{From: "hub1", To: "hub0", DropProb: 0.5, Delay: 100 * event.Microsecond},
+	}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("ParseEdgeFaults = %+v, want %+v", got, want)
+	}
+	for _, bad := range []string{"hub0", "hub0@1:2:3:4", ">hub1@1:2:3:4",
+		"hub0>@1:2:3:4", "hub0>hub1@1:2:3", "hub0>hub1@1:2:x:4", "hub0>hub1@1:2:3:4:5"} {
+		if _, err := ParseEdgeFaults(bad); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("ParseEdgeFaults(%q) err = %v, want ErrBadSpec", bad, err)
+		}
+	}
+	// A parsed-but-invalid fault is caught by Plan.Validate, not the parser.
+	neg, err := ParseEdgeFaults("hub0>hub1@0:0:2:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Plan{EdgeFaults: neg}
+	if err := p.Validate(); !errors.Is(err, ErrBadProbability) {
+		t.Errorf("Validate after parse err = %v, want ErrBadProbability", err)
+	}
+}
+
+func TestParseSpecsEmpty(t *testing.T) {
+	if hc, err := ParseHubCrashes(""); err != nil || len(hc) != 0 {
+		t.Errorf("empty hub-crash spec = %v, %v", hc, err)
+	}
+	if ef, err := ParseEdgeFaults(" / "); err != nil || len(ef) != 0 {
+		t.Errorf("blank edge-fault spec = %v, %v", ef, err)
+	}
+}

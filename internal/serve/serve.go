@@ -481,7 +481,11 @@ type TenantSummary struct {
 	ShedOverload  int
 	DeadLettered  int
 	Completed     int
-	SLO           stats.SLOStats
+	// Redispatches counts fault-path batch re-routes charged to this
+	// tenant by the dispatcher (joined from the cluster tenant rows).
+	// Diagnostic only — not a terminal state, excluded from Accounted.
+	Redispatches int
+	SLO          stats.SLOStats
 }
 
 // Accounted sums the tenant's request terminal states; conservation
@@ -514,6 +518,9 @@ func (s Summary) String() string {
 			"\n  tenant %-6s req=%-5d done=%-5d met=%-5d goodput=%.2f/s p99=%.3fms shed[adm=%d over=%d dead=%d]",
 			t.Tenant, t.Requests, t.Completed, t.SLO.Met, t.SLO.Goodput, t.SLO.Latency.P99,
 			t.ShedAdmission, t.ShedOverload, t.DeadLettered)
+		if t.Redispatches > 0 {
+			head += fmt.Sprintf(" redisp=%d", t.Redispatches)
+		}
 	}
 	return head + "\n" + s.Cluster.String()
 }
@@ -549,6 +556,10 @@ func (fe *FrontEnd) Run() Summary {
 			offered[name] = t.requests
 		}
 		order, byKey := stats.GroupSLO(keys, lats, met, offered, cs.Makespan.Seconds())
+		redisp := make(map[string]int, len(cs.Tenants))
+		for _, ct := range cs.Tenants {
+			redisp[ct.Tenant] = ct.Redispatches
+		}
 		for _, name := range order {
 			t := fe.tenants[name]
 			if t == nil {
@@ -561,6 +572,7 @@ func (fe *FrontEnd) Run() Summary {
 				ShedOverload:  t.shedOverload,
 				DeadLettered:  t.deadLettered,
 				Completed:     t.completed,
+				Redispatches:  redisp[name],
 				SLO:           byKey[name],
 			})
 		}

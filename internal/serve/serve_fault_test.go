@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mlimp/internal/cluster"
+	"mlimp/internal/event"
+	"mlimp/internal/fault"
+	"mlimp/internal/isa"
+	"mlimp/internal/sched"
+)
+
+// hubCrashScenario serves an open-loop app workload over a two-region
+// tree whose region-0 hub — the one hosting the front end — freezes for
+// [2ms, 6ms) mid-run. Batches sealed during the freeze re-home to
+// region 1, sibling settles relay through the live hub, and the revival
+// sweep re-dispatches whatever the freeze stranded.
+func hubCrashScenario(t *testing.T, workers int) Summary {
+	t.Helper()
+	sys := sched.NewSystem(isa.Targets...)
+	src := NewAppSource(sys)
+	rng := rand.New(rand.NewSource(11))
+	arr := Trace(rng, Poisson{MeanGap: 150 * event.Microsecond}, 0, 20*event.Millisecond)
+	reqs := src.Requests(rng, arr, 30*event.Millisecond)
+	AssignTenants(reqs, 2)
+	fleet := []cluster.NodeConfig{
+		{Name: "full", Targets: isa.Targets},
+		{Name: "sram-dram", Targets: []isa.Target{isa.SRAM, isa.DRAM}},
+		{Name: "dram-reram", Targets: []isa.Target{isa.DRAM, isa.ReRAM}},
+		{Name: "reram", Targets: []isa.Target{isa.ReRAM}},
+	}
+	d := cluster.NewShardedDispatcher(cluster.NewPredictedCost(), cluster.Admission{MaxRetries: 2, QueueCap: 8},
+		cluster.ShardConfig{Workers: workers, Hubs: 2, SummaryEvery: 500 * event.Microsecond},
+		fleet...)
+	plan := &fault.Plan{
+		Seed:       5,
+		HubCrashes: []fault.HubCrash{{Region: 0, At: 2 * event.Millisecond, Recover: 6 * event.Millisecond}},
+	}
+	if err := d.EnableFaults(cluster.FaultConfig{Plan: plan, Deadline: 10 * event.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	fe, err := New(d, Config{
+		Requests: reqs, Budget: 200 * event.Microsecond, BatchMax: 4,
+		BuildJob: src.BuildJob, Seed: 3,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return fe.Run()
+}
+
+// TestServingHubCrashConservation: request-level conservation holds
+// through a front-end-hub freeze, the fabric counters surface in the
+// cluster digest, and the per-tenant re-dispatch join carries through
+// to the serving rows.
+func TestServingHubCrashConservation(t *testing.T) {
+	s := hubCrashScenario(t, 2)
+	if s.Accounted() != s.Requests {
+		t.Fatalf("accounted %d of %d requests (%+v)", s.Accounted(), s.Requests, s)
+	}
+	if s.Completed == 0 {
+		t.Fatal("nothing completed through the hub crash")
+	}
+	if s.Cluster.HubCrashes != 1 {
+		t.Errorf("cluster HubCrashes = %d, want 1", s.Cluster.HubCrashes)
+	}
+	if s.Cluster.Rehomed == 0 {
+		t.Error("no injections or relays re-homed during the region-0 freeze")
+	}
+	if len(s.Tenants) != 2 {
+		t.Fatalf("serving summary lists %d tenants, want 2", len(s.Tenants))
+	}
+	clusterRedisp := map[string]int{}
+	for _, ct := range s.Cluster.Tenants {
+		clusterRedisp[ct.Tenant] = ct.Redispatches
+	}
+	for _, ts := range s.Tenants {
+		if ts.Accounted() != ts.Requests {
+			t.Errorf("tenant %s conservation broken: %+v", ts.Tenant, ts)
+		}
+		if ts.Redispatches != clusterRedisp[ts.Tenant] {
+			t.Errorf("tenant %s redispatches %d != cluster row %d",
+				ts.Tenant, ts.Redispatches, clusterRedisp[ts.Tenant])
+		}
+	}
+	if s.Cluster.Redispatches > 0 && !strings.Contains(s.String(), "redisp=") {
+		t.Error("re-dispatching run renders no redisp= tenant field")
+	}
+}
+
+// TestServingHubCrashWorkerEquivalence: the serving digest stays
+// byte-identical across worker counts even with the front end's own
+// hub freezing and recovering mid-run.
+func TestServingHubCrashWorkerEquivalence(t *testing.T) {
+	want := hubCrashScenario(t, 1).String()
+	for _, w := range []int{2, 4, 8} {
+		if got := hubCrashScenario(t, w).String(); got != want {
+			t.Fatalf("workers=%d diverges:\n%s\nwant:\n%s", w, got, want)
+		}
+	}
+}
