@@ -13,7 +13,9 @@
 // Benchmarks present in the run but missing from the baseline are
 // reported and skipped (they cannot regress); baseline entries missing
 // from the run fail the check, so a silently deleted benchmark cannot
-// hide a regression. The comparison is benchstat-flavoured but
+// hide a regression. -threshold gates the geomean; -tolerance
+// additionally gates each individual benchmark, so one badly regressed
+// benchmark cannot hide inside an acceptable average. The comparison is benchstat-flavoured but
 // dependency-free: single-sample geomean with a per-bench report,
 // which is the right weight for a CI smoke gate (full statistics need
 // -count >= 10 and a real benchstat run).
@@ -68,8 +70,13 @@ func main() {
 	update := flag.Bool("update", false, "rewrite the baseline from this run instead of comparing")
 	threshold := flag.Float64("threshold", 1.10,
 		"fail when geomean(new/old) exceeds this ratio")
+	tolerance := flag.Float64("tolerance", 0,
+		"fail when any single benchmark regresses more than this percentage (0 disables the per-bench gate)")
 	note := flag.String("note", "", "note stored in the baseline on -update")
 	flag.Parse()
+	if *tolerance < 0 {
+		fatal(fmt.Errorf("-tolerance must be >= 0 (got %g)", *tolerance))
+	}
 
 	src := io.Reader(os.Stdin)
 	if *in != "" {
@@ -117,6 +124,17 @@ func main() {
 		fatal(fmt.Errorf("%s: %v", *baseline, err))
 	}
 
+	if compare(os.Stdout, base, got, *threshold, *tolerance) {
+		os.Exit(1)
+	}
+}
+
+// compare writes the per-benchmark report and returns true when the
+// check fails: a baseline benchmark missing from the run, the geomean
+// past threshold, or (with tolerance > 0) any single benchmark
+// regressed by more than tolerance percent — each per-bench failure
+// names the benchmark and its delta percentage.
+func compare(w io.Writer, base Baseline, got map[string]float64, threshold, tolerance float64) bool {
 	var names []string
 	for name := range base.NsPerOp {
 		names = append(names, name)
@@ -125,45 +143,54 @@ func main() {
 
 	logSum, n := 0.0, 0
 	fail := false
+	var over []string
 	for _, name := range names {
 		old := base.NsPerOp[name]
 		now, ok := got[name]
 		if !ok {
-			fmt.Printf("MISSING  %-50s baseline %.0f ns/op, not in run\n", name, old)
+			fmt.Fprintf(w, "MISSING  %-50s baseline %.0f ns/op, not in run\n", name, old)
 			fail = true
 			continue
 		}
 		ratio := now / old
 		logSum += math.Log(ratio)
 		n++
+		delta := (ratio - 1) * 100
 		tag := "ok      "
-		if ratio > *threshold {
+		if tolerance > 0 && delta > tolerance {
 			tag = "SLOWER  "
-		} else if ratio < 1/(*threshold) {
+			over = append(over, fmt.Sprintf("%s %+.1f%%", name, delta))
+		} else if ratio > threshold {
+			tag = "SLOWER  "
+		} else if ratio < 1/threshold {
 			tag = "faster  "
 		}
-		fmt.Printf("%s %-50s %12.0f -> %12.0f ns/op  (%+.1f%%)\n",
-			tag, name, old, now, (ratio-1)*100)
+		fmt.Fprintf(w, "%s %-50s %12.0f -> %12.0f ns/op  (%+.1f%%)\n",
+			tag, name, old, now, delta)
 	}
 	for name := range got {
 		if _, ok := base.NsPerOp[name]; !ok {
-			fmt.Printf("new      %-50s %12.0f ns/op (not in baseline, skipped)\n", name, got[name])
+			fmt.Fprintf(w, "new      %-50s %12.0f ns/op (not in baseline, skipped)\n", name, got[name])
 		}
 	}
 	if n == 0 {
 		fatal(fmt.Errorf("no overlapping benchmarks between run and baseline"))
 	}
 	geomean := math.Exp(logSum / float64(n))
-	fmt.Printf("geomean  %.3fx over %d benchmarks (threshold %.2fx)\n", geomean, n, *threshold)
-	if geomean > *threshold {
-		fmt.Printf("benchcheck: FAIL — geomean regression %.1f%% exceeds %.0f%%\n",
-			(geomean-1)*100, (*threshold-1)*100)
+	fmt.Fprintf(w, "geomean  %.3fx over %d benchmarks (threshold %.2fx)\n", geomean, n, threshold)
+	if geomean > threshold {
+		fmt.Fprintf(w, "benchcheck: FAIL — geomean regression %.1f%% exceeds %.0f%%\n",
+			(geomean-1)*100, (threshold-1)*100)
 		fail = true
 	}
-	if fail {
-		os.Exit(1)
+	for _, o := range over {
+		fmt.Fprintf(w, "benchcheck: FAIL — %s exceeds -tolerance %.0f%%\n", o, tolerance)
+		fail = true
 	}
-	fmt.Println("benchcheck: PASS")
+	if !fail {
+		fmt.Fprintln(w, "benchcheck: PASS")
+	}
+	return fail
 }
 
 func fatal(err error) {

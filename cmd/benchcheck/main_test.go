@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	out := `goos: linux
+BenchmarkFleet-8           	     100	   1200000 ns/op	  500 B/op
+BenchmarkExtension_Replication 	      50	   2400000.5 ns/op
+PASS
+`
+	got, err := parseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(got))
+	}
+	if got["BenchmarkFleet"] != 1200000 {
+		t.Errorf("BenchmarkFleet = %v (the -8 suffix must be stripped)", got["BenchmarkFleet"])
+	}
+	if got["BenchmarkExtension_Replication"] != 2400000.5 {
+		t.Errorf("BenchmarkExtension_Replication = %v", got["BenchmarkExtension_Replication"])
+	}
+}
+
+func TestCompareGeomeanGate(t *testing.T) {
+	base := Baseline{NsPerOp: map[string]float64{"BenchmarkA": 100, "BenchmarkB": 100}}
+	var sb strings.Builder
+	if compare(&sb, base, map[string]float64{"BenchmarkA": 105, "BenchmarkB": 105}, 1.10, 0) {
+		t.Errorf("5%% regression under a 10%% threshold must pass:\n%s", sb.String())
+	}
+	sb.Reset()
+	if !compare(&sb, base, map[string]float64{"BenchmarkA": 150, "BenchmarkB": 150}, 1.10, 0) {
+		t.Errorf("50%% regression must fail:\n%s", sb.String())
+	}
+}
+
+func TestCompareToleranceGate(t *testing.T) {
+	base := Baseline{NsPerOp: map[string]float64{"BenchmarkA": 100, "BenchmarkB": 100}}
+	// One benchmark +30%, the other -20%: geomean ~1.02 passes the
+	// threshold, but the per-bench tolerance catches the outlier.
+	got := map[string]float64{"BenchmarkA": 130, "BenchmarkB": 80}
+	var sb strings.Builder
+	if compare(&sb, base, got, 1.10, 0) {
+		t.Errorf("without -tolerance the averaged-out outlier must pass:\n%s", sb.String())
+	}
+	sb.Reset()
+	if !compare(&sb, base, got, 1.10, 10) {
+		t.Fatalf("-tolerance 10 must catch the +30%% outlier:\n%s", sb.String())
+	}
+	// The failure output must name the benchmark and its delta.
+	if out := sb.String(); !strings.Contains(out, "BenchmarkA +30.0%") {
+		t.Errorf("failure output missing per-bench delta:\n%s", out)
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	base := Baseline{NsPerOp: map[string]float64{"BenchmarkA": 100, "BenchmarkGone": 100}}
+	var sb strings.Builder
+	if !compare(&sb, base, map[string]float64{"BenchmarkA": 100}, 1.10, 0) {
+		t.Errorf("baseline benchmark missing from the run must fail:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "MISSING") {
+		t.Errorf("missing benchmark not reported:\n%s", sb.String())
+	}
+}

@@ -51,6 +51,8 @@ func main() {
 	edgeFault := flag.String("edge-fault", "",
 		"extra custom chaos regime for the partition experiment: slash-separated from>to@at:until:drop:delay (ms), e.g. hub0>hub1@5:40:1:0")
 	packing := flag.String("packing", "all", "array packing policy for the multitenant sweep (first-fit, partitioned, weighted-fair, all)")
+	replicate := flag.String("replicate", "all", "replication policy for the replication sweep (off, when-idle, all)")
+	qformat := flag.String("qformat", "all", "fixed-point operand format for the precision sweep (16, 12, 8, or qI.F; all)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
@@ -76,6 +78,10 @@ func main() {
 		os.Exit(2)
 	}
 	if err := experiments.SetMultiTenant(counts, *packing); err != nil {
+		fmt.Fprintf(os.Stderr, "mlimp-bench: %v\n", err)
+		os.Exit(2)
+	}
+	if err := experiments.SetReplication(*replicate, *qformat); err != nil {
 		fmt.Fprintf(os.Stderr, "mlimp-bench: %v\n", err)
 		os.Exit(2)
 	}

@@ -50,6 +50,7 @@ import (
 	"mlimp/internal/cluster"
 	"mlimp/internal/event"
 	"mlimp/internal/fault"
+	"mlimp/internal/fixed"
 	"mlimp/internal/graph"
 	"mlimp/internal/isa"
 	"mlimp/internal/predict"
@@ -66,8 +67,10 @@ const defaultFleet = "sram,dram,reram/sram,dram/dram,reram/reram"
 
 // Named flag-validation failures (exit status 2).
 var (
-	errBadTenants = errors.New("invalid -tenants")
-	errBadPacking = errors.New("invalid -packing")
+	errBadTenants   = errors.New("invalid -tenants")
+	errBadPacking   = errors.New("invalid -packing")
+	errBadReplicate = errors.New("invalid -replicate")
+	errBadQFormat   = errors.New("invalid -qformat")
 )
 
 // parseFleet turns "sram,dram@0.5/reram" into node configs: nodes are
@@ -161,6 +164,10 @@ func main() {
 	tenants := flag.Int("tenants", 1, "tag work round-robin across this many tenants (1 = untenanted)")
 	packing := flag.String("packing", "first-fit",
 		"per-node array packing policy: first-fit | partitioned | weighted-fair")
+	replicate := flag.String("replicate", "off",
+		"per-node standing-replica policy: off | when-idle")
+	qformat := flag.String("qformat", "",
+		"fixed-point operand format for -source gnn request jobs (16, 12, 8, or qI.F; empty = q8.8)")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -237,6 +244,22 @@ func main() {
 		fail("%v: unknown packing %q (have %s)", errBadPacking, *packing,
 			strings.Join(sched.PackingNames(), " | "))
 	}
+	rp, ok := sched.ReplicationByName(*replicate)
+	if !ok {
+		fail("%v: unknown policy %q (have %s)", errBadReplicate, *replicate,
+			strings.Join(sched.ReplicationNames(), " | "))
+	}
+	var reqFormat fixed.Format
+	if *qformat != "" {
+		if *source != "gnn" {
+			fail("%v: -qformat needs -source gnn (got %q)", errBadQFormat, *source)
+		}
+		f, err := fixed.ParseFormat(*qformat)
+		if err != nil {
+			fail("%v: %v", errBadQFormat, err)
+		}
+		reqFormat = f
+	}
 
 	cfgs, err := parseFleet(*nodes)
 	if err != nil {
@@ -245,6 +268,7 @@ func main() {
 	}
 	for i := range cfgs {
 		cfgs[i].Packing = pk
+		cfgs[i].Replication = rp
 	}
 	// Topology validates against the parsed fleet size, so -nodes and
 	// -hubs are checked as a pair.
@@ -359,7 +383,7 @@ func main() {
 			slo:                event.Time(*sloMs * float64(event.Millisecond)),
 			budget:             event.Time(*budgetUs * float64(event.Microsecond)),
 			batchMax:           *batchMax, retrainEvery: *retrainEvery,
-			tenants: *tenants, seed: *seed, faultCfg: fc,
+			tenants: *tenants, format: reqFormat, seed: *seed, faultCfg: fc,
 		})
 		return
 	}
@@ -466,6 +490,7 @@ type openParams struct {
 	budget                 event.Time
 	batchMax, retrainEvery int
 	tenants                int
+	format                 fixed.Format // gnn request operand width; zero = default
 	seed                   int64
 	faultCfg               *cluster.FaultConfig
 }
@@ -510,6 +535,7 @@ func runOpenLoop(policies []string, adm cluster.Admission, cfgs []cluster.NodeCo
 		if p.source == "gnn" {
 			pred = basePred.Clone()
 			src := serve.NewGNNSource(rng, serveDataset, serveDataset.InputFeat, pred, sys)
+			src.Format = p.format
 			reqs = src.Requests(rng, arr, p.slo)
 			build = src.BuildJob
 			mirror = sys

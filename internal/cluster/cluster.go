@@ -35,6 +35,12 @@ type NodeConfig struct {
 	// Packing selects the node's multi-tenant array packing policy
 	// (zero value: first-fit, the single-pool behaviour).
 	Packing sched.Packing
+	// Replication selects the node's standing-replica policy (zero
+	// value: off). Under when-idle each node's scheduler may pin spare
+	// arrays as bottleneck-stage replicas; the dispatcher's cost
+	// estimates run against per-node view systems built from this same
+	// config, so estimate and execution see the same policy.
+	Replication sched.ReplicationPolicy
 }
 
 // Node is one MLIMP system wrapped in a runtime executor plus the
@@ -186,6 +192,7 @@ func newSystemFor(cfg NodeConfig) *sched.System {
 		}
 	}
 	sys.Packing = cfg.Packing
+	sys.Replication = cfg.Replication
 	return sys
 }
 

@@ -67,7 +67,14 @@ func OfResult(sys *sched.System, res *sched.Result) Breakdown {
 		}
 		layer := sys.Layers[a.Target]
 		cycles := layer.Cfg.Clock().CyclesAt(a.End - a.Start)
-		b.ComputeJ += float64(cycles) * float64(a.Arrays) * c.ArrayCyclePJ * 1e-12
+		// Narrow operands switch proportionally fewer bitlines per
+		// compute cycle (the byte traffic in the profile is pre-scaled by
+		// the job generators, so transfer energy needs no factor here).
+		width := 1.0
+		if a.Job.Bits > 0 && a.Job.Bits < 16 {
+			width = float64(a.Job.Bits) / 16
+		}
+		b.ComputeJ += float64(cycles) * float64(a.Arrays) * c.ArrayCyclePJ * width * 1e-12
 		if p, ok := a.Job.Est[a.Target]; ok {
 			bytes := p.LoadBytes + p.StoreBytes + p.ProgramBytes*4
 			b.TransferJ += float64(bytes) * DDRPJPerByte * 1e-12

@@ -59,3 +59,22 @@ func TestMoreWorkMoreEnergy(t *testing.T) {
 		t.Error("100x work should cost more energy")
 	}
 }
+
+func TestNarrowBitsCutComputeEnergy(t *testing.T) {
+	sys := sched.NewSystem(isa.SRAM)
+	run := func(bits int) Breakdown {
+		j := job(0, 1e7, 1<<18)
+		j.Bits = bits
+		return OfResult(sys, sched.NewGlobal().Schedule(sys, []*sched.Job{j}))
+	}
+	full, half := run(0), run(8)
+	// Same placement and duration (the profile is unscaled here; only
+	// the per-cycle switching energy shrinks), so compute energy halves.
+	ratio := half.ComputeJ / full.ComputeJ
+	if ratio < 0.45 || ratio > 0.55 {
+		t.Errorf("8-bit compute energy ratio = %.3f, want ~0.5", ratio)
+	}
+	if run(16).ComputeJ != full.ComputeJ {
+		t.Error("explicit 16 bits must match the zero default")
+	}
+}

@@ -15,7 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 		"predacc", "scalefit", "stress",
 		"abl-reuse", "abl-knee", "abl-replica", "abl-epsilon",
 		"abl-compiler", "serving", "serving-node", "quant", "cluster", "faults",
-		"multitenant", "partition",
+		"multitenant", "partition", "replication",
 	}
 	have := map[string]bool{}
 	for _, e := range All() {

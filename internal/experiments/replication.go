@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"mlimp/internal/cluster"
+	"mlimp/internal/energy"
+	"mlimp/internal/event"
+	"mlimp/internal/fixed"
+	"mlimp/internal/gnn"
+	"mlimp/internal/isa"
+	"mlimp/internal/predict"
+	"mlimp/internal/sched"
+	"mlimp/internal/serve"
+)
+
+func init() {
+	register("replication",
+		"Extension: layer replication + mixed precision — throughput-vs-accuracy Pareto front",
+		replicationExp)
+}
+
+// repFormatCfg is one per-layer precision candidate of the sweep.
+type repFormatCfg struct {
+	name    string
+	formats []fixed.Format
+}
+
+// Sweep configuration, overridable from the CLI via SetReplication.
+var (
+	repPolicies = sched.ReplicationNames()
+	repFormats  = []repFormatCfg{
+		{"q8.8", []fixed.Format{fixed.W16}},
+		{"q6.6", []fixed.Format{fixed.W12}},
+		{"q4.4", []fixed.Format{fixed.W8}},
+		// Narrow only the first (aggregation-heavy) layer, keep the rest
+		// full width — the mixed front the per-layer machinery exists for.
+		{"q4.4-front", []fixed.Format{fixed.W8, fixed.W16, fixed.W16}},
+	}
+)
+
+// SetReplication narrows the replication sweep: policy names one
+// replication policy or "all"; qformat names one operand width ("16",
+// "12", "8", or "qI.F") or "all". Rejects unknown names with the named
+// errors of the underlying resolvers.
+func SetReplication(policy, qformat string) error {
+	if policy != "" && policy != "all" {
+		if _, ok := sched.ReplicationByName(policy); !ok {
+			return fmt.Errorf("replication: unknown policy %q (have %s, all)",
+				policy, strings.Join(sched.ReplicationNames(), ", "))
+		}
+		repPolicies = []string{policy}
+	}
+	if qformat != "" && qformat != "all" {
+		f, err := fixed.ParseFormat(qformat)
+		if err != nil {
+			return fmt.Errorf("replication: %w", err)
+		}
+		repFormats = []repFormatCfg{{f.String(), []fixed.Format{f}}}
+	}
+	return nil
+}
+
+// repServeFormat is the operand width the fleet-serving equivalence cell
+// computes in: narrow enough to exercise the bit-scaled cost model on
+// every request job.
+var repServeFormat = fixed.W12
+
+// replicationServingCell drives the open-loop GNN request stream through
+// the serving-scale fleet with every node replicating when idle and all
+// request jobs computing at repServeFormat. The request jobs carry the
+// spmm stage tag, so node schedulers pin standing replicas of it.
+func replicationServingCell(workers int) serve.Summary {
+	const (
+		seed    = 902
+		horizon = 10 * event.Millisecond
+		slo     = 1500 * event.Microsecond
+	)
+	pred := servingPredictor().Clone()
+	sys := sched.NewSystem(isa.Targets...)
+	rng := rand.New(rand.NewSource(seed))
+	src := serve.NewGNNSource(rng, servingDataset, servingDataset.InputFeat, pred, sys)
+	src.Format = repServeFormat
+	arr := serve.Trace(rng, serve.Poisson{MeanGap: 30 * event.Microsecond}, 0, horizon)
+	reqs := src.Requests(rng, arr, slo)
+	cfgs := servingFleet()
+	for i := range cfgs {
+		cfgs[i].Replication = sched.ReplicateWhenIdle
+	}
+	d := cluster.NewShardedDispatcher(cluster.NewPredictedCost(), cluster.Admission{MaxRetries: 1},
+		shardCfg(workers), cfgs...)
+	fe, err := serve.New(d, serve.Config{
+		Requests: reqs, Budget: 200 * event.Microsecond, BatchMax: 4,
+		PredictorAdmission: true, BuildJob: src.BuildJob,
+		Predictor: pred, Mirror: sys,
+		RetrainEvery: 8, RetrainEpochs: 10, Seed: seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return fe.Run()
+}
+
+// replicationExp reproduces the replicate-when-idle study in three
+// parts. Offline: the staged GNN batch through all three schedulers with
+// replication off and on — replicas must never slow a schedule down and
+// should speed the bottleneck stage up. Pareto: the per-layer format
+// sweep under the accuracy guard, tracing AUC drop against makespan and
+// energy — the throughput-vs-accuracy front of the precision co-design.
+// Fleet: the open-loop serving cell with replicating nodes must produce
+// byte-identical artefacts at sim workers 1/2/4/8.
+func replicationExp() *Result {
+	const seed = 910
+
+	// Offline: scheduler x replication policy on one full node.
+	t1 := &table{header: []string{"scheduler", "replication", "makespan(ms)", "replicas", "speedup"}}
+	w := buildWorkload("ogbl-collab", seed)
+	repFaster := true
+	for _, sc := range []func() sched.Scheduler{
+		func() sched.Scheduler { return sched.LJF{} },
+		func() sched.Scheduler { return sched.NewAdaptive() },
+		func() sched.Scheduler { return sched.NewGlobal() },
+	} {
+		base := event.Time(0)
+		for _, pname := range repPolicies {
+			pol, _ := sched.ReplicationByName(pname)
+			sys := newFullSystem()
+			sys.Replication = pol
+			jobs := w.AllJobs(predict.Oracle{}, sys)
+			scheduler := sc()
+			res := scheduler.Schedule(sys, jobs)
+			speedup := "-"
+			if pol == sched.ReplicateOff {
+				base = res.Makespan
+			} else if base > 0 {
+				speedup = f2(float64(base) / float64(res.Makespan))
+				if res.Makespan > base {
+					repFaster = false
+				}
+			}
+			t1.add(scheduler.Name(), pname, f3(res.Makespan.Millis()),
+				fmt.Sprint(sys.ReplicaCount()), speedup)
+		}
+	}
+
+	// Pareto: format sweep under the accuracy guard, scheduled with
+	// replication on (the co-design point: narrow formats shrink every
+	// job, replicas absorb what still serialises).
+	t2 := &table{header: []string{"format", "base-auc", "mixed-auc", "drop", "guard",
+		"makespan(ms)", "speedup", "energy(J)"}}
+	const maxDrop = 0.02
+	type paretoPt struct {
+		name     string
+		drop     float64
+		makespan event.Time
+	}
+	var pts []paretoPt
+	base := event.Time(0)
+	guardRng := rand.New(rand.NewSource(seed + 1))
+	for _, fc := range repFormats {
+		rep := gnn.CheckAccuracy(guardRng, w.Model, fc.formats, w.Subgraphs()[:8], 30, maxDrop)
+		w.Model.Formats = fc.formats
+		sys := newFullSystem()
+		sys.Replication = sched.ReplicateWhenIdle
+		jobs := w.AllJobs(predict.Oracle{}, sys)
+		res := sched.NewGlobal().Schedule(sys, jobs)
+		w.Model.Formats = nil
+		speedup := "-"
+		if base == 0 {
+			base = res.Makespan
+		} else {
+			speedup = f2(float64(base) / float64(res.Makespan))
+		}
+		en := energy.OfResult(sys, res)
+		t2.add(fc.name, f3(rep.BaseAUC), f3(rep.MixedAUC), f3(rep.Drop),
+			fmt.Sprint(rep.OK), f3(res.Makespan.Millis()), speedup, f3(en.TotalJ()))
+		pts = append(pts, paretoPt{fc.name, rep.Drop, res.Makespan})
+	}
+	var front []string
+	for _, p := range pts {
+		dominated := false
+		for _, q := range pts {
+			if q.name != p.name && q.drop <= p.drop && q.makespan <= p.makespan &&
+				(q.drop < p.drop || q.makespan < p.makespan) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p.name)
+		}
+	}
+
+	// Fleet: byte-identical serving artefacts at every worker count.
+	equiv := true
+	var ref string
+	var s serve.Summary
+	for _, workers := range []int{1, 2, 4, 8} {
+		s = replicationServingCell(workers)
+		if ref == "" {
+			ref = s.String()
+		} else if s.String() != ref {
+			equiv = false
+		}
+	}
+
+	text := "offline staged GNN batch (one full node):\n" + t1.String() +
+		fmt.Sprintf("replication never slows a schedule down: %v\n", repFaster) +
+		"\nprecision sweep (Global scheduler, replication when-idle, guard bound " +
+		fmt.Sprintf("%.2f AUC):\n", maxDrop) + t2.String() +
+		fmt.Sprintf("pareto front (drop vs makespan): %s\n", strings.Join(front, ", ")) +
+		fmt.Sprintf("\nfleet serving (replicating nodes, %s requests): %d requests, %d completed, goodput %.2f/s\n",
+			repServeFormat, s.Requests, s.Completed, s.SLO.Goodput) +
+		fmt.Sprintf("serving artefact byte-identical at sim workers 1/2/4/8: %v\n", equiv)
+	return &Result{ID: "replication", Title: "layer replication + mixed precision", Text: text}
+}

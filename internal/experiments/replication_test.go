@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReplicationEquivalence replays the replication experiment (CI
+// runs it under -race) and asserts its three contracts: replication
+// never slows a schedule down, every precision point passes the
+// accuracy guard, and the replicating serving fleet produces
+// byte-identical artefacts at sim workers 1/2/4/8.
+func TestReplicationEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet replays are slow")
+	}
+	e, ok := ByID("replication")
+	if !ok {
+		t.Fatal("replication experiment not registered")
+	}
+	text := e.Run().Text
+	for _, line := range []string{
+		"replication never slows a schedule down: true",
+		"serving artefact byte-identical at sim workers 1/2/4/8: true",
+	} {
+		if !strings.Contains(text, line) {
+			t.Errorf("artefact missing invariant line %q:\n%s", line, text)
+		}
+	}
+	// The guard column and both invariant booleans must never read
+	// false anywhere in the artefact.
+	if strings.Contains(text, "false") {
+		t.Errorf("artefact contains a failed invariant:\n%s", text)
+	}
+}

@@ -15,7 +15,10 @@ import "math"
 
 // FracBits is the default fraction width of the Q format (Q8.8). Eight
 // fractional bits keep GCN accuracy degradation under 1% on the synthetic
-// workloads, mirroring the paper's <1% quantisation loss.
+// workloads, mirroring the paper's <1% quantisation loss. The package-
+// level functions below are the DefaultFormat (W16) instance of the
+// parameterised family in format.go; narrower widths (W12, W8) go
+// through Format methods.
 const FracBits = 8
 
 // Num is a 16-bit fixed-point number in the package-default Q format.
@@ -155,20 +158,10 @@ func ReLU(a Num) Num {
 // the common programming interface supports (Section III-B1); devices
 // realise it with a small LUT plus one multiply, which this matches: the
 // integer part selects a power of two and the fractional part indexes a
-// 32-entry polynomial-free table.
-func Exp2(a Num) Num {
-	f := math.Exp2(quantExp2Arg(a))
-	return FromFloat(f)
-}
-
-// quantExp2Arg quantises the Exp2 argument to the 32-entry LUT resolution
-// so that the functional model matches what the in-memory LUT produces.
-func quantExp2Arg(a Num) float64 {
-	const lutBits = 5 // 32-entry fractional LUT
-	step := one >> lutBits
-	q := (int32(a) / int32(step)) * int32(step)
-	return float64(q) / one
-}
+// 32-entry polynomial-free table. The LUT step is derived from the
+// format's fraction width (see Format.Exp2) — the old Q8.8-only
+// quantiser underflowed to a zero step below five fraction bits.
+func Exp2(a Num) Num { return DefaultFormat.Exp2(a) }
 
 // Sum returns the saturating sum of a slice.
 func Sum(xs []Num) Num {

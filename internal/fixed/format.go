@@ -1,0 +1,222 @@
+package fixed
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Q-format parameterisation. The package-default Q8.8 arithmetic above
+// is one point of a family: LRMP-style precision co-design runs
+// different GCN layers at different widths (8/12/16 bits), trading
+// accuracy for arrays and cycles on bit-serial devices. A Format names
+// one member of the family; its operations are the same saturating
+// fixed-point arithmetic with the width and fraction split derived from
+// the format instead of the Q8.8 constants.
+
+// ErrBadFormat rejects unsupported or malformed Q-format specs.
+var ErrBadFormat = errors.New("fixed: invalid format")
+
+// Format is a signed fixed-point Q(Bits-Frac).Frac format. Values are
+// carried in the 16-bit Num container regardless of Bits; a narrower
+// format simply restricts the representable raw range to
+// [-2^(Bits-1), 2^(Bits-1)-1] and the resolution to 2^-Frac.
+type Format struct {
+	Bits int // total width including sign, 2..16
+	Frac int // fraction bits, 0..Bits-1
+}
+
+// The supported widths of the mixed-precision study: each halves the
+// fraction resolution relative to the default Q8.8 while keeping half
+// the bits for the integer part, mirroring the paper's 16-bit split.
+var (
+	// W16 is the package default Q8.8 (full precision).
+	W16 = Format{Bits: 16, Frac: 8}
+	// W12 is Q6.6: three-quarter width.
+	W12 = Format{Bits: 12, Frac: 6}
+	// W8 is Q4.4: half width.
+	W8 = Format{Bits: 8, Frac: 4}
+)
+
+// DefaultFormat is the format the package-level functions compute in.
+var DefaultFormat = W16
+
+// Formats lists the supported widths, widest first.
+func Formats() []Format { return []Format{W16, W12, W8} }
+
+// Valid reports whether the format fits the Num container and keeps at
+// least one integer bit beside the sign.
+func (f Format) Valid() error {
+	if f.Bits < 2 || f.Bits > 16 {
+		return fmt.Errorf("%w: bits %d out of [2,16]", ErrBadFormat, f.Bits)
+	}
+	if f.Frac < 0 || f.Frac >= f.Bits {
+		return fmt.Errorf("%w: frac %d out of [0,%d] for %d bits", ErrBadFormat, f.Frac, f.Bits-1, f.Bits)
+	}
+	return nil
+}
+
+// String renders the format as "q8.8" (integer.fraction bits).
+func (f Format) String() string { return fmt.Sprintf("q%d.%d", f.Bits-f.Frac, f.Frac) }
+
+// ParseFormat resolves a width spec — "16", "12", "8", or the explicit
+// "qI.F" form — to a Format. Plain widths map to the canonical
+// half-integer/half-fraction split (W16/W12/W8).
+func ParseFormat(s string) (Format, error) {
+	switch strings.TrimSpace(strings.ToLower(s)) {
+	case "16", "q8.8", "w16":
+		return W16, nil
+	case "12", "q6.6", "w12":
+		return W12, nil
+	case "8", "q4.4", "w8":
+		return W8, nil
+	}
+	return Format{}, fmt.Errorf("%w: %q (have 8, 12, 16)", ErrBadFormat, s)
+}
+
+// one is the raw encoding of 1.0 in the format — the Q8.8 `one`
+// constant derived from the format parameter instead of assumed.
+func (f Format) one() int32 { return 1 << f.Frac }
+
+// maxRaw and minRaw bound the raw values representable at this width.
+func (f Format) maxRaw() int32 { return 1<<(f.Bits-1) - 1 }
+func (f Format) minRaw() int32 { return -(1 << (f.Bits - 1)) }
+
+// Max returns the largest representable Num of the format.
+func (f Format) Max() Num { return Num(f.maxRaw()) }
+
+// Min returns the smallest representable Num of the format.
+func (f Format) Min() Num { return Num(f.minRaw()) }
+
+// sat saturates a raw value to the format's width.
+func (f Format) sat(v int32) Num {
+	switch {
+	case v > f.maxRaw():
+		return Num(f.maxRaw())
+	case v < f.minRaw():
+		return Num(f.minRaw())
+	}
+	return Num(v)
+}
+
+// FromFloat converts a float64 to the format with round-to-nearest and
+// saturation.
+func (f Format) FromFloat(x float64) Num {
+	scaled := math.Round(x * float64(f.one()))
+	switch {
+	case scaled > float64(f.maxRaw()):
+		return Num(f.maxRaw())
+	case scaled < float64(f.minRaw()):
+		return Num(f.minRaw())
+	}
+	return Num(scaled)
+}
+
+// FromInt converts an integer to the format with saturation.
+func (f Format) FromInt(i int) Num {
+	if i > math.MaxInt16 || i < math.MinInt16 {
+		if i > 0 {
+			return Num(f.maxRaw())
+		}
+		return Num(f.minRaw())
+	}
+	return f.sat(int32(i) << f.Frac)
+}
+
+// Float converts a format-encoded Num back to float64.
+func (f Format) Float(n Num) float64 { return float64(n) / float64(f.one()) }
+
+// Add returns a+b in the format with saturation.
+func (f Format) Add(a, b Num) Num { return f.sat(int32(a) + int32(b)) }
+
+// Sub returns a-b in the format with saturation.
+func (f Format) Sub(a, b Num) Num { return f.sat(int32(a) - int32(b)) }
+
+// Mul returns a*b in the format with saturation, rescaling the product
+// by the format's fraction width with round-to-nearest.
+func (f Format) Mul(a, b Num) Num {
+	p := int32(a) * int32(b)
+	return f.sat((p + f.one()/2) >> f.Frac)
+}
+
+// Div returns a/b in the format with saturation; division by zero
+// saturates to the extreme of a's sign, like the default-format Div.
+func (f Format) Div(a, b Num) Num {
+	if b == 0 {
+		if a >= 0 {
+			return Num(f.maxRaw())
+		}
+		return Num(f.minRaw())
+	}
+	p := (int64(a) << f.Frac) / int64(b)
+	switch {
+	case p > int64(f.maxRaw()):
+		return Num(f.maxRaw())
+	case p < int64(f.minRaw()):
+		return Num(f.minRaw())
+	}
+	return Num(p)
+}
+
+// Neg returns -a in the format with saturation.
+func (f Format) Neg(a Num) Num { return f.sat(-int32(a)) }
+
+// exp2LUTBits is the fractional LUT resolution of the in-memory Exp2
+// (32 entries at full width); narrower formats cannot index below their
+// own resolution, so the effective LUT shrinks with Frac.
+const exp2LUTBits = 5
+
+// Exp2 returns 2^a in the format via the LUT-quantised argument.
+func (f Format) Exp2(a Num) Num {
+	lut := exp2LUTBits
+	if lut > f.Frac {
+		lut = f.Frac // a step below one raw LSB does not exist
+	}
+	step := f.one() >> lut
+	if step < 1 {
+		step = 1
+	}
+	q := (int32(a) / step) * step
+	return f.FromFloat(math.Exp2(float64(q) / float64(f.one())))
+}
+
+// Convert re-encodes n from format src to format dst with
+// round-to-nearest on a resolution drop and saturation at dst's width.
+func Convert(n Num, src, dst Format) Num {
+	v := int32(n)
+	switch {
+	case dst.Frac >= src.Frac:
+		shift := dst.Frac - src.Frac
+		p := int64(v) << shift
+		switch {
+		case p > int64(dst.maxRaw()):
+			return Num(dst.maxRaw())
+		case p < int64(dst.minRaw()):
+			return Num(dst.minRaw())
+		}
+		return Num(p)
+	default:
+		shift := src.Frac - dst.Frac
+		// Round half away from zero so conversion is sign-symmetric.
+		half := int32(1) << (shift - 1)
+		if v >= 0 {
+			v = (v + half) >> shift
+		} else {
+			v = -((-v + half) >> shift)
+		}
+		return dst.sat(v)
+	}
+}
+
+// Quantize maps a default-format value onto the grid the format can
+// represent — round to the format's resolution, clamp to its range —
+// returning it still encoded in the default format. This is what a
+// value looks like after passing through an f-width in-memory device:
+// the functional model of running a layer at reduced precision.
+func (f Format) Quantize(n Num) Num {
+	if f == DefaultFormat {
+		return n
+	}
+	return Convert(Convert(n, DefaultFormat, f), f, DefaultFormat)
+}

@@ -30,7 +30,25 @@ type Model struct {
 	Layers  []LayerSpec
 	Weights []*tensor.Dense // [layer] In x Out
 	Biases  []*tensor.Dense // [layer] 1 x Out
+	// Formats selects the Q format each layer computes at; nil (or a
+	// short slice) defaults remaining layers to fixed.DefaultFormat.
+	// Narrow layers run on proportionally fewer arrays and cycles (the
+	// job generators scale their profiles by the width), at the price of
+	// activations snapping to the coarser grid — the precision half of
+	// the replication+precision co-design.
+	Formats []fixed.Format
 }
+
+// LayerFormat returns the Q format layer l computes at.
+func (m *Model) LayerFormat(l int) fixed.Format {
+	if l < len(m.Formats) {
+		return m.Formats[l]
+	}
+	return fixed.DefaultFormat
+}
+
+// LayerBits returns the operand width of layer l.
+func (m *Model) LayerBits(l int) int { return m.LayerFormat(l).Bits }
 
 // NewGCN builds a GCN with the paper's structure: three layers from
 // inFeat through hidden (Table I: hidden = 256), randomly initialised
@@ -62,9 +80,18 @@ func (m *Model) Infer(sg *graph.Subgraph, feats *tensor.Dense) *tensor.Dense {
 	}
 	h := feats
 	for l, spec := range m.Layers {
-		agg := tensor.SpMM(sg.Adj, h)          // aggregation
-		comb := tensor.GEMM(agg, m.Weights[l]) // combination
-		for r := 0; r < comb.Rows; r++ {       // bias Vadd
+		f := m.LayerFormat(l)
+		w := m.Weights[l]
+		if f != fixed.DefaultFormat {
+			// A reduced-precision layer sees its stationary weights on the
+			// narrow grid too; accumulation stays wide (the devices
+			// accumulate in full-width bit-serial registers), so only the
+			// stored operands quantise.
+			w = quantizeDense(w, f)
+		}
+		agg := tensor.SpMM(sg.Adj, h)    // aggregation
+		comb := tensor.GEMM(agg, w)      // combination
+		for r := 0; r < comb.Rows; r++ { // bias Vadd
 			row := comb.Row(r)
 			brow := m.Biases[l].Row(0)
 			for c := range row {
@@ -74,10 +101,32 @@ func (m *Model) Infer(sg *graph.Subgraph, feats *tensor.Dense) *tensor.Dense {
 		if l < len(m.Layers)-1 {
 			comb.ReLU()
 		}
+		if f != fixed.DefaultFormat {
+			// Activations leave the layer through f-wide sense amps.
+			for r := 0; r < comb.Rows; r++ {
+				row := comb.Row(r)
+				for c := range row {
+					row[c] = f.Quantize(row[c])
+				}
+			}
+		}
 		h = comb
 		_ = spec
 	}
 	return h
+}
+
+// quantizeDense returns a copy of d with every element snapped to the
+// grid of format f (still stored in the default format).
+func quantizeDense(d *tensor.Dense, f fixed.Format) *tensor.Dense {
+	out := tensor.NewDense(d.Rows, d.Cols)
+	for r := 0; r < d.Rows; r++ {
+		src, dst := d.Row(r), out.Row(r)
+		for c := range src {
+			dst[c] = f.Quantize(src[c])
+		}
+	}
+	return out
 }
 
 // Workload is a batched GNN inference task over one dataset stand-in.
@@ -185,13 +234,24 @@ func FitBetas(sample *tensor.CSR, widths []int, sys *sched.System) map[isa.Targe
 // the kernel cost model. The per-request unit of the serving front end.
 func SpMMJob(id int, name string, adj *tensor.CSR, f int, p predict.Predictor,
 	sys *sched.System, betas map[isa.Target]map[int]float64) *sched.Job {
+	return SpMMJobAt(id, name, adj, f, 0, fixed.DefaultFormat, p, sys, betas)
+}
+
+// SpMMJobAt is SpMMJob for GCN layer `layer` computing in format qf:
+// the job carries the layer's stage tag (so replicas of the stage can
+// take it) and its operand width (profiles and ground truth scale with
+// the width; the energy model reads Bits).
+func SpMMJobAt(id int, name string, adj *tensor.CSR, f, layer int, qf fixed.Format,
+	p predict.Predictor, sys *sched.System, betas map[isa.Target]map[int]float64) *sched.Job {
+	bits := qf.Bits
 	est := map[isa.Target]sched.Profile{}
 	for _, t := range sys.Targets() {
-		est[t] = spmmProfile(adj, f, t, p.UnitCycles(adj, f, t), betas[t][f])
+		est[t] = spmmProfile(adj, f, t, p.UnitCycles(adj, f, t), betas[t][f]).ScaleToBits(bits)
 	}
-	j := &sched.Job{ID: id, Name: name, Kind: "spmm", Est: est}
+	j := &sched.Job{ID: id, Name: name, Kind: "spmm",
+		Stage: fmt.Sprintf("spmm-l%d", layer), Bits: bits, Est: est}
 	j.TrueTime = func(sys *sched.System, t isa.Target, arrays int) event.Time {
-		return trueSpMMTime(sys, adj, f, t, arrays)
+		return trueSpMMTime(sys, adj, f, t, arrays, bits)
 	}
 	return j
 }
@@ -213,14 +273,24 @@ func spmmProfile(adj *tensor.CSR, f int, t isa.Target, unitCycles int64, beta fl
 	}
 }
 
-// trueSpMMTime is the simulator's ground truth for an SpMM job.
-func trueSpMMTime(sys *sched.System, adj *tensor.CSR, f int, t isa.Target, arrays int) event.Time {
+// scaleBits scales a cycle or byte count for bits-wide operands on the
+// bit-serial devices (linear in width, ceil so nothing rounds to zero).
+func scaleBits(v int64, bits int) int64 {
+	if bits <= 0 || bits >= 16 || v <= 0 {
+		return v
+	}
+	return (v*int64(bits) + 15) / 16
+}
+
+// trueSpMMTime is the simulator's ground truth for an SpMM job at the
+// given operand width.
+func trueSpMMTime(sys *sched.System, adj *tensor.CSR, f int, t isa.Target, arrays, bits int) event.Time {
 	cfg := mem(t)
 	est := kernels.SpMM(cfg, adj, f, arrays, true)
-	cycles := est.Cycles * int64(est.Iterations)
+	cycles := scaleBits(est.Cycles*int64(est.Iterations), bits)
 	return HostDispatch + cfg.Clock().Cycles(cycles) +
-		sys.DDR.StreamTime(sched.EffectiveLoadBytes(t, est.LoadBytes)) +
-		sys.DDR.StreamTime(sched.EffectiveLoadBytes(t, est.StoreBytes))
+		sys.DDR.StreamTime(sched.EffectiveLoadBytes(t, scaleBits(est.LoadBytes, bits))) +
+		sys.DDR.StreamTime(sched.EffectiveLoadBytes(t, scaleBits(est.StoreBytes, bits)))
 }
 
 // SpMMJobs generates one aggregation job per subgraph per GCN layer,
@@ -240,18 +310,21 @@ func (w *Workload) SpMMJobs(p predict.Predictor, sys *sched.System) []*sched.Job
 		adj := sg.Adj
 		for l, spec := range w.Model.Layers {
 			f := spec.In
+			bits := w.Model.LayerBits(l)
 			est := map[isa.Target]sched.Profile{}
 			for _, t := range sys.Targets() {
-				est[t] = spmmProfile(adj, f, t, p.UnitCycles(adj, f, t), betas[t][f])
+				est[t] = spmmProfile(adj, f, t, p.UnitCycles(adj, f, t), betas[t][f]).ScaleToBits(bits)
 			}
 			j := &sched.Job{
-				ID:   id,
-				Name: fmt.Sprintf("spmm-q%d-l%d", sg.Query, l),
-				Kind: "spmm",
-				Est:  est,
+				ID:    id,
+				Name:  fmt.Sprintf("spmm-q%d-l%d", sg.Query, l),
+				Kind:  "spmm",
+				Stage: fmt.Sprintf("spmm-l%d", l),
+				Bits:  bits,
+				Est:   est,
 			}
 			j.TrueTime = func(sys *sched.System, t isa.Target, arrays int) event.Time {
-				return trueSpMMTime(sys, adj, f, t, arrays)
+				return trueSpMMTime(sys, adj, f, t, arrays, bits)
 			}
 			jobs = append(jobs, j)
 			id++
@@ -268,15 +341,16 @@ func (w *Workload) AllJobs(p predict.Predictor, sys *sched.System) []*sched.Job 
 	id := len(jobs)
 	for _, sg := range w.Subgraphs() {
 		n := sg.NumNodes()
-		for _, spec := range w.Model.Layers {
-			jobs = append(jobs, gemmJob(sys, &id, n, spec))
-			jobs = append(jobs, vaddJob(sys, &id, n*spec.Out))
+		for l, spec := range w.Model.Layers {
+			bits := w.Model.LayerBits(l)
+			jobs = append(jobs, gemmJob(sys, &id, n, l, spec, bits))
+			jobs = append(jobs, vaddJob(sys, &id, n*spec.Out, bits))
 		}
 	}
 	return jobs
 }
 
-func gemmJob(sys *sched.System, id *int, rows int, spec LayerSpec) *sched.Job {
+func gemmJob(sys *sched.System, id *int, rows, layer int, spec LayerSpec, bits int) *sched.Job {
 	est := map[isa.Target]sched.Profile{}
 	for _, t := range sys.Targets() {
 		cfg := mem(t)
@@ -288,17 +362,18 @@ func gemmJob(sys *sched.System, id *int, rows int, spec LayerSpec) *sched.Job {
 			StoreBytes:   sched.EffectiveLoadBytes(t, e.StoreBytes),
 			ProgramBytes: e.ProgramBytes, Beta: sched.DefaultBeta,
 			Overhead: HostDispatch,
-		}
+		}.ScaleToBits(bits)
 	}
-	j := &sched.Job{ID: *id, Name: fmt.Sprintf("gemm-%dx%dx%d", rows, spec.In, spec.Out), Kind: "gemm", Est: est}
+	j := &sched.Job{ID: *id, Name: fmt.Sprintf("gemm-%dx%dx%d", rows, spec.In, spec.Out),
+		Kind: "gemm", Stage: fmt.Sprintf("gemm-l%d", layer), Bits: bits, Est: est}
 	j.TrueTime = func(sys *sched.System, t isa.Target, arrays int) event.Time {
 		cfg := mem(t)
 		e := kernels.GEMM(cfg, rows, spec.In, spec.Out, arrays)
-		tt := HostDispatch + cfg.Clock().Cycles(e.Cycles) +
-			sys.DDR.StreamTime(sched.EffectiveLoadBytes(t, e.LoadBytes)) +
-			sys.DDR.StreamTime(sched.EffectiveLoadBytes(t, e.StoreBytes))
+		tt := HostDispatch + cfg.Clock().Cycles(scaleBits(e.Cycles, bits)) +
+			sys.DDR.StreamTime(sched.EffectiveLoadBytes(t, scaleBits(e.LoadBytes, bits))) +
+			sys.DDR.StreamTime(sched.EffectiveLoadBytes(t, scaleBits(e.StoreBytes, bits)))
 		if e.ProgramBytes > 0 {
-			tt += sys.DDR.StreamTime(e.ProgramBytes) * 4
+			tt += sys.DDR.StreamTime(scaleBits(e.ProgramBytes, bits)) * 4
 		}
 		return tt
 	}
@@ -306,7 +381,7 @@ func gemmJob(sys *sched.System, id *int, rows int, spec LayerSpec) *sched.Job {
 	return j
 }
 
-func vaddJob(sys *sched.System, id *int, n int) *sched.Job {
+func vaddJob(sys *sched.System, id *int, n, bits int) *sched.Job {
 	est := map[isa.Target]sched.Profile{}
 	for _, t := range sys.Targets() {
 		cfg := mem(t)
@@ -318,15 +393,15 @@ func vaddJob(sys *sched.System, id *int, n int) *sched.Job {
 			StoreBytes: sched.EffectiveLoadBytes(t, e.StoreBytes),
 			Beta:       sched.DefaultBeta,
 			Overhead:   HostDispatch,
-		}
+		}.ScaleToBits(bits)
 	}
-	j := &sched.Job{ID: *id, Name: fmt.Sprintf("vadd-%d", n), Kind: "vadd", Est: est}
+	j := &sched.Job{ID: *id, Name: fmt.Sprintf("vadd-%d", n), Kind: "vadd", Bits: bits, Est: est}
 	j.TrueTime = func(sys *sched.System, t isa.Target, arrays int) event.Time {
 		cfg := mem(t)
 		e := kernels.Vadd(cfg, n, arrays)
-		return HostDispatch + cfg.Clock().Cycles(e.Cycles) +
-			sys.DDR.StreamTime(sched.EffectiveLoadBytes(t, e.LoadBytes)) +
-			sys.DDR.StreamTime(sched.EffectiveLoadBytes(t, e.StoreBytes))
+		return HostDispatch + cfg.Clock().Cycles(scaleBits(e.Cycles, bits)) +
+			sys.DDR.StreamTime(sched.EffectiveLoadBytes(t, scaleBits(e.LoadBytes, bits))) +
+			sys.DDR.StreamTime(sched.EffectiveLoadBytes(t, scaleBits(e.StoreBytes, bits)))
 	}
 	*id++
 	return j

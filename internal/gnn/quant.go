@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 
+	"mlimp/internal/fixed"
 	"mlimp/internal/graph"
 	"mlimp/internal/tensor"
 )
@@ -96,6 +97,40 @@ func QuantizationStudy(rng *rand.Rand, m *Model, subgraphs []*graph.Subgraph, ex
 	}
 	fixLabels := append([]bool(nil), labels...)
 	return AUC(fixScores, fixLabels), AUC(fltScores, labels)
+}
+
+// GuardReport is the outcome of the mixed-precision accuracy guard.
+type GuardReport struct {
+	BaseAUC  float64 // full-precision (Q8.8) fixed-point AUC
+	MixedAUC float64 // AUC with the candidate per-layer formats
+	FloatAUC float64 // float64 reference AUC on the same examples
+	Drop     float64 // BaseAUC - MixedAUC
+	OK       bool    // Drop <= the configured bound
+}
+
+// CheckAccuracy is the accuracy guard of the precision co-design: it
+// runs the link-prediction study once at full precision and once with
+// the candidate per-layer formats — on identical subgraphs and sampled
+// examples, so the only difference is the arithmetic — and accepts the
+// formats iff the AUC drop stays within maxDrop. Experiments walk the
+// format space and keep only configurations the guard admits.
+func CheckAccuracy(rng *rand.Rand, m *Model, formats []fixed.Format,
+	subgraphs []*graph.Subgraph, examplesPer int, maxDrop float64) GuardReport {
+	seed := rng.Int63()
+	saved := m.Formats
+
+	m.Formats = nil
+	base, flt := QuantizationStudy(rand.New(rand.NewSource(seed)), m, subgraphs, examplesPer)
+
+	m.Formats = formats
+	mixed, _ := QuantizationStudy(rand.New(rand.NewSource(seed)), m, subgraphs, examplesPer)
+
+	m.Formats = saved
+	drop := base - mixed
+	return GuardReport{
+		BaseAUC: base, MixedAUC: mixed, FloatAUC: flt,
+		Drop: drop, OK: drop <= maxDrop,
+	}
 }
 
 // rowFloats converts one embedding row to float64.

@@ -1,0 +1,109 @@
+package gnn
+
+import (
+	"math/rand"
+	"testing"
+
+	"mlimp/internal/fixed"
+	"mlimp/internal/graph"
+)
+
+func guardFixture(t *testing.T, seed int64) (*rand.Rand, *Model, []*graph.Subgraph) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	d, _ := graph.DatasetByName("ogbl-collab")
+	g := d.Generate(rng)
+	s := graph.NewSampler(rng, g, 2, 0)
+	m := NewGCN(rng, d.InputFeat, d.HiddenFeat, 1)
+	var subgraphs []*graph.Subgraph
+	for i := 0; i < 4; i++ {
+		subgraphs = append(subgraphs, s.Sample(rng.Intn(g.N)))
+	}
+	return rng, m, subgraphs
+}
+
+func TestLayerFormatDefaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewGCN(rng, 8, 12, 3)
+	if m.LayerFormat(0) != fixed.DefaultFormat || m.LayerBits(2) != 16 {
+		t.Error("nil Formats must default every layer to the full width")
+	}
+	m.Formats = []fixed.Format{fixed.W8}
+	if m.LayerFormat(0) != fixed.W8 {
+		t.Error("explicit format ignored")
+	}
+	if m.LayerFormat(1) != fixed.DefaultFormat {
+		t.Error("short Formats slice must default the tail layers")
+	}
+}
+
+func TestInferQuantisesToFormatGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := graph.BarabasiAlbert(rng, 80, 3)
+	s := graph.NewSampler(rng, g, 1, 4)
+	sg := s.Sample(2)
+	m := NewGCN(rng, 8, 12, 2)
+	feats := NodeFeatures(sg, 8)
+
+	base := m.Infer(sg, feats)
+	m.Formats = []fixed.Format{fixed.W8, fixed.W8}
+	narrow := m.Infer(sg, feats)
+	m.Formats = nil
+
+	if narrow.Rows != base.Rows || narrow.Cols != base.Cols {
+		t.Fatalf("shape changed: %dx%d", narrow.Rows, narrow.Cols)
+	}
+	// Every narrow activation sits on the W8 grid (Quantize is a
+	// fixed point of the format).
+	for r := 0; r < narrow.Rows; r++ {
+		for _, v := range narrow.Row(r) {
+			if fixed.W8.Quantize(v) != v {
+				t.Fatalf("activation %v off the W8 grid", v)
+			}
+		}
+	}
+	// An all-W16 format list is the identity path.
+	m.Formats = []fixed.Format{fixed.W16, fixed.W16}
+	same := m.Infer(sg, feats)
+	m.Formats = nil
+	for r := 0; r < base.Rows; r++ {
+		a, b := base.Row(r), same.Row(r)
+		for c := range a {
+			if a[c] != b[c] {
+				t.Fatalf("W16 formats changed inference at (%d,%d)", r, c)
+			}
+		}
+	}
+}
+
+func TestCheckAccuracyGuard(t *testing.T) {
+	rng, m, subgraphs := guardFixture(t, 11)
+
+	// Full-width formats: zero drop by construction.
+	rep := CheckAccuracy(rng, m, []fixed.Format{fixed.W16}, subgraphs, 30, 0.01)
+	if rep.Drop != 0 || !rep.OK {
+		t.Errorf("W16 guard: drop %.4f ok=%v, want 0/true", rep.Drop, rep.OK)
+	}
+	if rep.BaseAUC <= 0.5 {
+		t.Errorf("base AUC %.3f carries no signal", rep.BaseAUC)
+	}
+
+	// Mixed W12 front: the guard must report a coherent comparison on
+	// identical examples and leave the model's formats untouched.
+	rep = CheckAccuracy(rng, m, []fixed.Format{fixed.W12}, subgraphs, 30, 0.05)
+	if rep.MixedAUC < 0 || rep.MixedAUC > 1 {
+		t.Errorf("mixed AUC %.3f out of range", rep.MixedAUC)
+	}
+	if rep.Drop != rep.BaseAUC-rep.MixedAUC {
+		t.Error("drop is not base-mixed")
+	}
+	if m.Formats != nil {
+		t.Error("guard leaked formats into the model")
+	}
+
+	// An impossible bound must reject any real drop.
+	rep = CheckAccuracy(rng, m, []fixed.Format{fixed.W8}, subgraphs, 30, -1)
+	if rep.OK && rep.Drop > -1 {
+		t.Error("negative bound admitted a configuration")
+	}
+}

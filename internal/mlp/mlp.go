@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"mlimp/internal/fixed"
 )
 
 // Net is a fully connected feed-forward network with tanh hidden
@@ -102,6 +104,43 @@ func (n *Net) NumParams() int {
 func (n *Net) Forward(x []float64) []float64 {
 	out, _ := n.forward(x)
 	return out
+}
+
+// ForwardQuant runs inference with each layer's activations snapped to
+// a fixed-point grid: formats[l] quantises the output of weight layer l
+// (the last entry repeats for deeper layers; nil formats is plain
+// Forward). This is the functional model of the predictor MLP running
+// on reduced-precision in-memory hardware — weights stay float64 (they
+// live on the host), but everything a narrow device stores between
+// layers rounds to its grid and clamps to its range.
+func (n *Net) ForwardQuant(x []float64, formats []fixed.Format) []float64 {
+	if len(formats) == 0 {
+		return n.Forward(x)
+	}
+	if len(x) != n.sizes[0] {
+		panic(fmt.Sprintf("mlp: input size %d, want %d", len(x), n.sizes[0]))
+	}
+	cur := append([]float64(nil), x...)
+	for l := range n.weights {
+		f := formats[len(formats)-1]
+		if l < len(formats) {
+			f = formats[l]
+		}
+		next := make([]float64, n.sizes[l+1])
+		for o := range next {
+			s := n.biases[l][o]
+			row := n.weights[l][o]
+			for i, v := range cur {
+				s += row[i] * v
+			}
+			if l < len(n.weights)-1 {
+				s = math.Tanh(s)
+			}
+			next[o] = f.Float(f.FromFloat(s))
+		}
+		cur = next
+	}
+	return cur
 }
 
 // forward returns the output and all layer activations (inputs first).

@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+
+	"mlimp/internal/fixed"
 )
 
 func TestConstruction(t *testing.T) {
@@ -124,5 +126,30 @@ func TestMultiOutput(t *testing.T) {
 	out := n.Forward([]float64{0.3, 0.6})
 	if math.Abs(out[0]-0.9) > 0.1 || math.Abs(out[1]+0.3) > 0.1 {
 		t.Errorf("multi-output prediction = %v", out)
+	}
+}
+
+func TestForwardQuant(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := New(rng, 2, 16, 8, 1)
+	x := []float64{0.3, -0.2}
+	// Nil formats is plain Forward.
+	if got, want := n.ForwardQuant(x, nil), n.Forward(x); got[0] != want[0] {
+		t.Errorf("nil formats: %v != %v", got, want)
+	}
+	// Full-width quantisation only snaps to the Q8.8 grid.
+	w16 := n.ForwardQuant(x, []fixed.Format{fixed.W16})
+	if math.Abs(w16[0]-n.Forward(x)[0]) > 1.0/256 {
+		t.Errorf("W16 output %v strayed beyond one Q8.8 ulp", w16)
+	}
+	// Narrow outputs sit exactly on the W8 grid (1/16 steps).
+	w8 := n.ForwardQuant(x, []fixed.Format{fixed.W8})
+	if v := w8[0] * 16; v != math.Round(v) {
+		t.Errorf("W8 output %v off the 1/16 grid", w8[0])
+	}
+	// A short format list repeats its last entry for deeper layers.
+	mixed := n.ForwardQuant(x, []fixed.Format{fixed.W16, fixed.W8})
+	if v := mixed[0] * 16; v != math.Round(v) {
+		t.Errorf("tail format not applied: %v", mixed[0])
 	}
 }

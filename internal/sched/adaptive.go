@@ -60,8 +60,15 @@ func partition(sys *System, jobs []*Job) queues {
 		qs[t] = nil
 	}
 	arena := make([]queueItem, len(jobs))
+	router := &replicaRouter{sys: sys}
 	for i, j := range jobs {
-		t, _ := sys.BestTarget(j)
+		// A job whose stage has a standing replica may route to the
+		// replica's layer (the shrunk free set there would otherwise flip
+		// its BestTarget away from the very capacity pinned for it), but
+		// only while the router's pile-up model says the replicas still
+		// beat the job's best pool target.
+		bt, btime := sys.BestTarget(j)
+		t := router.route(j, bt, btime)
 		arena[i] = queueItem{job: j, arrays: planAlloc(sys, j, t)}
 		qs[t] = append(qs[t], &arena[i])
 	}
@@ -104,19 +111,41 @@ func clampAlloc(sys *System, t isa.Target, arrays int) int {
 // are and how many wait per slot, so work flows toward idle layers but
 // never onto a layer whose single-job time already exceeds the source's
 // drain time.
+//
+// Jobs pinned to the layer's standing replicas drain through the
+// replica channels at ReplicaTime, not through the pool slots: counting
+// them as pool load (at pool model times, against pool slots) would
+// inflate the layer's apparent congestion the moment a replica exists
+// and drive Algorithm 1 to evacuate every movable job — the pinned jobs
+// themselves cannot migrate, so the balance would converge to the same
+// skewed partition at any replica count.
 func queueMean(sys *System, t isa.Target, q []*queueItem) float64 {
 	if len(q) == 0 {
 		return 0
 	}
-	var sum, longest float64
+	l := sys.Layers[t]
+	var poolSum, repSum, longest float64
 	for _, it := range q {
-		v := float64(sys.ModelTime(it.job, t, it.arrays))
-		sum += v
+		var v float64
+		if rt, ok := sys.replicaTargetFor(it.job); ok && rt == t {
+			r := l.replicas[0]
+			v = float64(sys.ReplicaTime(it.job.Est[t], t, r.Arrays))
+			repSum += v
+		} else {
+			v = float64(sys.ModelTime(it.job, t, it.arrays))
+			poolSum += v
+		}
 		if v > longest {
 			longest = v
 		}
 	}
-	if drain := sum / float64(sys.Layers[t].Slots); drain > longest {
+	drain := poolSum / float64(l.Slots)
+	if n := len(l.replicas); n > 0 {
+		if rd := repSum / float64(n); rd > drain {
+			drain = rd
+		}
+	}
+	if drain > longest {
 		return drain
 	}
 	return longest
@@ -190,6 +219,9 @@ func tryMigrate(sys *System, qs queues, src, dst isa.Target, maxMean float64) bo
 		if _, ok := it.job.Est[dst]; !ok {
 			continue
 		}
+		if rt, ok := sys.replicaTargetFor(it.job); ok && rt == src {
+			continue // pinned to its replicas; the mean does not see them
+		}
 		m := planAlloc(sys, it.job, dst)
 		if tt := sys.ModelTime(it.job, dst, m); tt < bestTime {
 			bestTime, bestIdx = tt, i
@@ -217,8 +249,17 @@ func tryMigrate(sys *System, qs queues, src, dst isa.Target, maxMean float64) bo
 // revealed that the estimate was wrong; the symmetric-overrun heuristic
 // assumes it needs roughly as long again as it has already overrun.
 func layerBacklog(sys *System, st *simState, t isa.Target, q []*queueItem) float64 {
-	var sum, longest float64
+	l := sys.Layers[t]
+	var sum, repSum, longest float64
 	for _, it := range q {
+		// Replica-pinned items drain through the replica channels (see
+		// queueMean); fold their serialised share into the backlog so a
+		// layer with busy replicas still reads as loaded, without
+		// charging them against the pool slots.
+		if rt, ok := sys.replicaTargetFor(it.job); ok && rt == t {
+			repSum += float64(sys.ReplicaTime(it.job.Est[t], t, l.replicas[0].Arrays))
+			continue
+		}
 		v := float64(sys.ModelTime(it.job, t, it.arrays))
 		sum += v
 		if v > longest {
@@ -235,7 +276,13 @@ func layerBacklog(sys *System, st *simState, t isa.Target, q []*queueItem) float
 			sum += float64(st.now - f.estEnd) // observed overrun continues
 		}
 	}
-	if drain := sum / float64(sys.Layers[t].Slots); drain > longest {
+	drain := sum / float64(l.Slots)
+	if n := len(l.replicas); n > 0 {
+		if rd := repSum / float64(n); rd > drain {
+			drain = rd
+		}
+	}
+	if drain > longest {
 		return drain
 	}
 	return longest
@@ -267,6 +314,9 @@ func rebalanceRuntime(sys *System, st *simState, qs queues, o Opts) {
 		for i, it := range srcQ {
 			if _, ok := it.job.Est[minT]; !ok {
 				continue
+			}
+			if rt, ok := sys.replicaTargetFor(it.job); ok && rt == maxT {
+				continue // pinned to its replicas; the backlog does not see them
 			}
 			m := planAlloc(sys, it.job, minT)
 			if tt := sys.ModelTime(it.job, minT, m); tt < bestTime {
@@ -308,6 +358,7 @@ func (a *Adaptive) Name() string { return "adaptive" }
 
 // Schedule implements Scheduler.
 func (a *Adaptive) Schedule(sys *System, jobs []*Job) *Result {
+	sys.EnsureReplicas(jobs)
 	qs := partition(sys, jobs)
 	interQueueAdjust(sys, qs, a.Opts)
 	return dispatchWith(sys, qs, jobs, dispatchOpts{opportunistic: true, expand: true, rebalance: &a.Opts})
@@ -375,6 +426,15 @@ func dispatchWith(sys *System, qs queues, jobs []*Job, o dispatchOpts) *Result {
 						sys.ModelTime(it.job, t, fair) < sys.ModelTime(it.job, t, grant) {
 						grant = fair
 					}
+				}
+				// A free stage replica takes the job without touching the
+				// pool or a slot — unless the pool's grant would beat it;
+				// fall through to pool placement when all replicas are
+				// busy.
+				if st.placeReplica(it.job, t, grant) {
+					pending--
+					waiting--
+					continue
 				}
 				switch {
 				case st.canPlace(t, grant, it.job.Tenant):

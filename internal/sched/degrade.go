@@ -25,15 +25,31 @@ func (s *System) Degrade(t isa.Target, n int) int {
 	if !ok || n <= 0 {
 		return 0
 	}
+	// Replicas are reclaimed first: a standing replica is pure spare
+	// capacity, so it is torn down (its config remembered for Restore)
+	// before any pool array is decommissioned. Replica sets were carved
+	// with TakeHighest, so the TakeHighest below eats the ex-replica IDs
+	// before touching the low-ID pool region.
+	if len(l.replicas) > 0 {
+		l.repWant = &repSpec{
+			stage: l.replicas[0].Stage, prof: l.replicas[0].Prof,
+			arrays: l.replicas[0].Arrays, count: len(l.replicas),
+		}
+		for i := len(l.replicas) - 1; i >= 0; i-- {
+			l.avail.Add(l.replicas[i].Set)
+		}
+		l.replicas = nil
+	}
 	if max := l.avail.Count() - 1; n > max {
 		n = max
 	}
-	if n <= 0 {
-		return 0
+	if n > 0 {
+		removed := l.avail.TakeHighest(n)
+		l.lost = append(l.lost, removed)
+	} else {
+		n = 0
 	}
-	removed := l.avail.TakeHighest(n)
-	l.lost = append(l.lost, removed)
-	l.sig = l.avail.Signature()
+	l.refreshSig()
 	s.clearKneeMemo()
 	return n
 }
@@ -61,9 +77,39 @@ func (s *System) Restore(t isa.Target, n int) int {
 			n = 0
 		}
 	}
-	l.sig = l.avail.Signature()
+	// Rebuilt on Restore: if a Degrade tore down a standing replica set,
+	// re-carve as much of it as the recovered capacity's idle budget
+	// affords. A partial rebuild keeps repWant so later Restores finish
+	// the job; EnsureReplicas re-plans it anyway on the next batch.
+	if s.Replication == ReplicateWhenIdle && l.repWant != nil {
+		w := l.repWant
+		m := replicaBudget(l.avail.Count()+replicaArrays(l)) - replicaArrays(l)
+		m /= w.arrays
+		if m > w.count-len(l.replicas) {
+			m = w.count - len(l.replicas)
+		}
+		for i := 0; i < m; i++ {
+			l.replicas = append(l.replicas, Replica{
+				Stage: w.stage, Prof: w.prof, Arrays: w.arrays,
+				Set: l.avail.TakeHighest(w.arrays),
+			})
+		}
+		if len(l.replicas) >= w.count {
+			l.repWant = nil
+		}
+	}
+	l.refreshSig()
 	s.clearKneeMemo()
 	return restored
+}
+
+// replicaArrays counts the arrays currently pinned into l's replicas.
+func replicaArrays(l *Layer) int {
+	n := 0
+	for _, r := range l.replicas {
+		n += r.Arrays
+	}
+	return n
 }
 
 // DegradedIDs returns the array IDs of layer t currently out of
@@ -81,13 +127,14 @@ func (s *System) DegradedIDs(t isa.Target) ArraySet {
 }
 
 // Lost returns the number of arrays of layer t currently lost to
-// faults.
+// faults. Arrays pinned into standing replicas are in service, not
+// lost.
 func (s *System) Lost(t isa.Target) int {
 	l, ok := s.Layers[t]
 	if !ok {
 		return 0
 	}
-	return l.universe - l.avail.Count()
+	return l.universe - l.avail.Count() - replicaArrays(l)
 }
 
 // LostTotal returns the arrays lost to faults across all layers.

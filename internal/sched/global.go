@@ -26,6 +26,7 @@ func (g *Global) Name() string { return "global" }
 
 // Schedule implements Scheduler.
 func (g *Global) Schedule(sys *System, jobs []*Job) *Result {
+	sys.EnsureReplicas(jobs)
 	qs := partition(sys, jobs)
 	interQueueAdjust(sys, qs, g.Opts)
 	for _, t := range sys.Targets() {
@@ -105,6 +106,11 @@ func executePlan(sys *System, plan map[isa.Target][]*queueItem, jobs []*Job) *Re
 			for len(q) > 0 {
 				head := q[0]
 				arrays := clampAlloc(sys, t, minInt(head.arrays, st.maxGrant(t, head.job.Tenant)))
+				if st.placeReplica(head.job, t, arrays) {
+					q = q[1:]
+					pending--
+					continue
+				}
 				if !st.canPlace(t, arrays, head.job.Tenant) {
 					break
 				}

@@ -38,6 +38,33 @@ type Profile struct {
 	MaxUseful int
 }
 
+// ScaleToBits rescales the profile for bits-wide operands. The devices
+// compute bit-serially and move data byte-serially, so compute cycles
+// and every byte stream scale linearly with the operand width, and the
+// stationary working set shrinks the same way (RepUnit scales by ceil —
+// a narrower layer needs fewer arrays per replica, freeing capacity for
+// replication to consume). Widths at or above the 16-bit default return
+// the profile unchanged.
+func (p Profile) ScaleToBits(bits int) Profile {
+	if bits <= 0 || bits >= 16 {
+		return p
+	}
+	scale := func(v int64) int64 {
+		if v <= 0 {
+			return v
+		}
+		return (v*int64(bits) + 15) / 16
+	}
+	p.UnitCycles = scale(p.UnitCycles)
+	p.LoadBytes = scale(p.LoadBytes)
+	p.StoreBytes = scale(p.StoreBytes)
+	p.ProgramBytes = scale(p.ProgramBytes)
+	if p.RepUnit > 1 {
+		p.RepUnit = (p.RepUnit*bits + 15) / 16
+	}
+	return p
+}
+
 // DefaultBeta is the empirical shape parameter: parallelisation costs
 // make speedup sublinear ("setting the shape parameter beta less than
 // 1", Section III-C3).
@@ -79,7 +106,16 @@ type Job struct {
 	// different tenants are placed on disjoint array sets (see
 	// packing.go); the empty string is the single-tenant default.
 	Tenant string
-	Est    map[isa.Target]Profile
+	// Stage tags the pipeline stage this job is one invocation of
+	// (e.g. "spmm-l0"). Jobs sharing a stage share a stationary working
+	// set, so they may be fanned across standing replicas of that stage
+	// (replicate.go). Empty means the job is not replicable.
+	Stage string
+	// Bits is the operand width the job computes at; zero means the full
+	// 16-bit default. The job generators pre-scale Est with
+	// Profile.ScaleToBits; Bits rides along for the energy model.
+	Bits int
+	Est  map[isa.Target]Profile
 	// TrueTime returns the actual execution time of the job on target t
 	// with an allocation of arrays arrays.
 	TrueTime func(sys *System, t isa.Target, arrays int) event.Time
@@ -101,6 +137,12 @@ type System struct {
 	// reproduces the single-pool behaviour exactly.
 	Packing Packing
 
+	// Replication selects whether the schedulers may pin standing
+	// replicas of bottleneck stages onto idle arrays (replicate.go). The
+	// zero value, ReplicateOff, reproduces the replica-free behaviour
+	// exactly.
+	Replication ReplicationPolicy
+
 	profMemo   map[profKey]event.Time
 	kneeMemo   map[kneeKey]int
 	cacheStats CacheStats
@@ -117,8 +159,11 @@ type Layer struct {
 
 	universe int        // physical IDs [0, universe) this layer owns
 	avail    ArraySet   // arrays currently in service
-	sig      uint64     // memo signature of avail (see costcache.go)
+	sig      uint64     // memo signature of avail + replicas (costcache.go)
 	lost     []ArraySet // decommissioned sets, most recent last
+
+	replicas []Replica // standing stage replicas pinned out of avail
+	repWant  *repSpec  // replica config a Degrade tore down (replicate.go)
 }
 
 // NewLayer builds a layer owning array IDs [0, arrays).
@@ -141,6 +186,8 @@ func (l *Layer) SetCapacity(n int) {
 	l.universe = n
 	l.avail = NewRange(0, n)
 	l.lost = nil
+	l.replicas = nil
+	l.repWant = nil
 	l.sig = l.avail.Signature()
 }
 
@@ -316,6 +363,13 @@ func (s *System) KneeAlloc(j *Job, t isa.Target) int {
 	if !ok {
 		return 1
 	}
+	return s.kneeForProfile(p, t)
+}
+
+// kneeForProfile is KneeAlloc on a bare profile — shared with the
+// replica planner, which sizes replicas for a stage profile without a
+// job in hand.
+func (s *System) kneeForProfile(p Profile, t isa.Target) int {
 	l := s.Layers[t]
 	maxM := l.Capacity()
 	if maxM < 1 {

@@ -58,6 +58,7 @@ func estAtUnit(sys *System, j *Job, t isa.Target) event.Time {
 
 // Schedule implements Scheduler.
 func (l LJF) Schedule(sys *System, jobs []*Job) *Result {
+	sys.EnsureReplicas(jobs)
 	st := newSim(sys, jobs)
 	// Single queue, descending estimated time (the descending order of
 	// the shortest execution time across memories).
@@ -65,6 +66,7 @@ func (l LJF) Schedule(sys *System, jobs []*Job) *Result {
 	copy(queue, jobs)
 	best := map[int]isa.Target{}
 	estKey := map[int]event.Time{}
+	router := &replicaRouter{sys: sys}
 	for _, j := range queue {
 		bt, bv := isa.Target(0), event.Time(math.MaxInt64)
 		for _, t := range sys.Targets() {
@@ -72,7 +74,9 @@ func (l LJF) Schedule(sys *System, jobs []*Job) *Result {
 				bv, bt = v, t
 			}
 		}
-		best[j.ID] = bt
+		// Stage jobs route to their standing replicas while the router's
+		// pile-up model says the replicas still beat the pool.
+		best[j.ID] = router.route(j, bt, bv)
 		estKey[j.ID] = bv
 	}
 	sortStableByKeyDesc(queue, estKey)
@@ -82,6 +86,11 @@ func (l LJF) Schedule(sys *System, jobs []*Job) *Result {
 		for progressed && len(queue) > 0 {
 			progressed = false
 			j := queue[0]
+			if st.placeReplica(j, best[j.ID], ljfGrant(sys, st, j, best[j.ID])) {
+				queue = queue[1:]
+				progressed = true
+				continue
+			}
 			if t, ok := l.pick(sys, st, j, best[j.ID]); ok {
 				st.place(j, t, ljfGrant(sys, st, j, t))
 				queue = queue[1:]

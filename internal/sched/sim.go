@@ -73,7 +73,8 @@ type flight struct {
 	target isa.Target
 	arrays int
 	set    ArraySet // the physical arrays held
-	pool   *pool    // where set returns on completion
+	pool   *pool    // where set returns on completion; nil on a replica
+	rep    int      // 1-based replica index on target; 0 = pool placement
 	start  event.Time
 	end    event.Time
 	estEnd event.Time // start + estimated duration (scheduler belief)
@@ -177,6 +178,13 @@ type simState struct {
 	// policy that needs per-tenant state; the single-tenant (and
 	// first-fit) path never consults it.
 	tenants map[string]*tenantState
+	// reps mirrors each layer's standing replicas with a per-sim busy
+	// flag: a replica serves one job at a time, holding no pool arrays
+	// and no dispatch slot (the replica IS the pipeline). Serial use
+	// keeps the tenant-isolation invariant — no array is held by two
+	// tenants at overlapping instants — even when tenants share a
+	// replica across time.
+	reps    [isa.NumTargets][]repSim
 	flying  flightHeap
 	result  *Result
 	estMode bool
@@ -216,6 +224,13 @@ func newSim(sys *System, jobs []*Job) *simState {
 		st.shared[t].avail = ArraySet{spans: st.arena[start : end : end+head]}
 		st.shared[t].free = l.avail.Count()
 		st.slots[t] = l.Slots
+		if len(l.replicas) > 0 {
+			rs := make([]repSim, len(l.replicas))
+			for i, r := range l.replicas {
+				rs[i] = repSim{stage: r.Stage, arrays: r.Arrays, set: r.Set}
+			}
+			st.reps[t] = rs
+		}
 	}
 	if st.packing == PackFirstFit {
 		return st // tenant-agnostic: one shared pool, lowest IDs first
@@ -332,6 +347,49 @@ func (st *simState) takeFrom(p *pool, n int) ArraySet {
 	return ArraySet{spans: st.arena[start:len(st.arena):len(st.arena)]}
 }
 
+// repSim is one standing replica's simulation state.
+type repSim struct {
+	stage  string
+	arrays int
+	set    ArraySet
+	busy   bool
+}
+
+// placeReplica starts j on a free standing replica of its stage on
+// target t, reporting whether one took it. poolGrant is the allocation
+// the caller would otherwise place the job with right now: when the
+// pool can grant it and the modelled pool time beats the replica, the
+// job is left to regular placement — a knee-sized replica must never
+// capture a job an idle pool would run faster. Replica durations come
+// from the deterministic ReplicaTime model on both planning and
+// execution paths, so estimates on replicas are exact by construction.
+func (st *simState) placeReplica(j *Job, t isa.Target, poolGrant int) bool {
+	if j.Stage == "" || len(st.reps[t]) == 0 {
+		return false
+	}
+	p, ok := j.Est[t]
+	if !ok {
+		return false
+	}
+	rs := st.reps[t]
+	for i := range rs {
+		r := &rs[i]
+		if r.busy || r.stage != j.Stage {
+			continue
+		}
+		dur := st.sys.ReplicaTime(p, t, r.arrays)
+		if poolGrant > 0 && st.canPlace(t, poolGrant, j.Tenant) &&
+			st.sys.ModelTime(j, t, poolGrant) < dur {
+			return false
+		}
+		r.busy = true
+		st.flying.push(flight{job: j, target: t, arrays: r.arrays, set: r.set,
+			rep: i + 1, start: st.now, end: st.now + dur, estEnd: st.now + dur})
+		return true
+	}
+	return false
+}
+
 // canPlace reports whether target t can accept the tenant's job with
 // the given allocation right now.
 func (st *simState) canPlace(t isa.Target, arrays int, tenant string) bool {
@@ -368,13 +426,17 @@ func (st *simState) advance() bool {
 	}
 	f := st.flying.pop()
 	st.now = f.end
-	f.pool.put(f.set)
-	if st.tenants != nil && st.packing == PackWeightedFair {
-		if ts := st.tenants[f.job.Tenant]; ts != nil {
-			ts.held[f.target] -= f.arrays
+	if f.rep > 0 {
+		st.reps[f.target][f.rep-1].busy = false
+	} else {
+		f.pool.put(f.set)
+		if st.tenants != nil && st.packing == PackWeightedFair {
+			if ts := st.tenants[f.job.Tenant]; ts != nil {
+				ts.held[f.target] -= f.arrays
+			}
 		}
+		st.slots[f.target]++
 	}
-	st.slots[f.target]++
 	st.result.Assignments = append(st.result.Assignments, Assignment{
 		Job: f.job, Target: f.target, Arrays: f.arrays, ArrayIDs: f.set,
 		Tenant: f.job.Tenant, Start: f.start, End: f.end,

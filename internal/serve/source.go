@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"mlimp/internal/event"
+	"mlimp/internal/fixed"
 	"mlimp/internal/gnn"
 	"mlimp/internal/graph"
 	"mlimp/internal/isa"
@@ -42,6 +43,11 @@ type GNNSource struct {
 	Predictor *predict.MLP
 	Betas     map[isa.Target]map[int]float64
 	F         int
+	// Format is the fixed-point operand format request jobs compute in
+	// (zero value: the full-width default). Narrow formats shrink each
+	// job's cycle and byte profile proportionally — the serving face of
+	// the per-layer precision co-design.
+	Format fixed.Format
 
 	g       *graph.Graph
 	sampler *graph.Sampler
@@ -77,7 +83,11 @@ func (s *GNNSource) Requests(rng *rand.Rand, arrivals []event.Time, slo event.Ti
 // BuildJob builds the aggregation job of one request with the current
 // predictor state — Config.BuildJob for GNN serving.
 func (s *GNNSource) BuildJob(r *Request) *sched.Job {
-	return gnn.SpMMJob(r.ID, fmt.Sprintf("req-%d", r.ID), r.Adj, r.F, s.Predictor, s.Sys, s.Betas)
+	qf := s.Format
+	if qf.Bits == 0 {
+		qf = fixed.DefaultFormat
+	}
+	return gnn.SpMMJobAt(r.ID, fmt.Sprintf("req-%d", r.ID), r.Adj, r.F, 0, qf, s.Predictor, s.Sys, s.Betas)
 }
 
 // AppSource draws Table II application jobs as requests. App costs are
